@@ -1,0 +1,379 @@
+// Benchmarks that regenerate every table and figure of the paper (one
+// benchmark per exhibit) plus the ablations called out in DESIGN.md. Each
+// benchmark reports the exhibit's headline quantity as a custom metric so
+// `go test -bench=. -benchmem` doubles as a miniature reproduction run;
+// cmd/experiments produces the full paper-scale versions.
+package raidrel_test
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/core"
+	"raidrel/internal/dist"
+	"raidrel/internal/experiments"
+	"raidrel/internal/markov"
+	"raidrel/internal/raid"
+	"raidrel/internal/rng"
+	"raidrel/internal/sim"
+	"raidrel/internal/workload"
+)
+
+// benchOpt is the per-op Monte Carlo scale used by the figure benchmarks.
+var benchOpt = experiments.Options{Iterations: 400, Seed: 20070625, CurvePoints: 6}
+
+func BenchmarkTable1ReadErrorRates(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, cell := range workload.Table1() {
+			sink += cell.ErrorsPerHour
+		}
+	}
+	b.ReportMetric(sink/float64(b.N), "sum_err_per_hour")
+}
+
+func BenchmarkTable3DDFRatios(b *testing.B) {
+	var last []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.ReportMetric(last[1].Ratio, "noscrub_ratio")
+	b.ReportMetric(last[3].Ratio, "scrub168_ratio")
+}
+
+func BenchmarkFigure1FieldPlots(b *testing.B) {
+	var plots []experiments.FieldPlot
+	for i := 0; i < b.N; i++ {
+		var err error
+		plots, err = experiments.Figure1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plots[0].MRR.R2, "hdd1_r2")
+}
+
+func BenchmarkFigure2Vintages(b *testing.B) {
+	var plots []experiments.FieldPlot
+	for i := 0; i < b.N; i++ {
+		var err error
+		plots, err = experiments.Figure2(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plots[2].MLE.Shape, "vintage3_beta")
+}
+
+func BenchmarkFigure6ModelVsMTTDL(b *testing.B) {
+	// Fig. 6 counts extremely rare defect-free DDFs; give it more groups.
+	opt := benchOpt
+	opt.Iterations = 20000
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.Figure6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(series[0].Final(), "mttdl_final")
+	b.ReportMetric(series[1].Final(), "cc_final")
+}
+
+func BenchmarkFigure7LatentDefects(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.Figure7(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(series[0].Final(), "noscrub_ddfs_per_1000")
+	b.ReportMetric(series[1].Final(), "scrub168_ddfs_per_1000")
+}
+
+func BenchmarkFigure8ROCOF(b *testing.B) {
+	var series []experiments.ROCOFSeries
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.Figure8(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := series[0].Points
+	b.ReportMetric(last[len(last)-1].Count, "noscrub_last_window")
+}
+
+func BenchmarkFigure9ScrubSweep(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.Figure9(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(series[0].Final(), "scrub336_final")
+	b.ReportMetric(series[len(series)-1].Final(), "scrub12_final")
+}
+
+func BenchmarkFigure10ShapeSweep(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiments.Figure10(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(series[0].Final(), "beta08_final")
+	b.ReportMetric(series[len(series)-1].Final(), "beta15_final")
+}
+
+// --- ablations (DESIGN.md §6) ---
+
+func baseSimConfig() sim.Config {
+	return sim.Config{
+		Drives:     8,
+		Redundancy: 1,
+		Mission:    core.BaseMissionHours,
+		Trans: sim.Transitions{
+			TTOp:    dist.MustWeibull(1.12, core.BaseMTBFHours, 0),
+			TTR:     dist.MustWeibull(2, 12, 6),
+			TTLd:    dist.MustWeibull(1, core.BaseTTLdScaleHours, 0),
+			TTScrub: dist.MustWeibull(3, 168, 6),
+		},
+	}
+}
+
+// BenchmarkEngineTimeline measures the event-queue engine per group
+// chronology.
+func BenchmarkEngineTimeline(b *testing.B) {
+	cfg := baseSimConfig()
+	engine := sim.EventEngine{}
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Simulate(cfg, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSequential measures the Fig. 5 interval engine on the
+// same configuration.
+func BenchmarkEngineSequential(b *testing.B) {
+	cfg := baseSimConfig()
+	engine := sim.IntervalEngine{}
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Simulate(cfg, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRAID6Extension measures the redundancy-2 model and reports its
+// residual loss rate next to RAID 5's.
+func BenchmarkRAID6Extension(b *testing.B) {
+	var r5, r6 float64
+	for i := 0; i < b.N; i++ {
+		for _, redundancy := range []int{1, 2} {
+			p := core.BaseCase()
+			p.Redundancy = redundancy
+			m, err := core.New(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := m.Run(benchOpt.Iterations, benchOpt.Seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if redundancy == 1 {
+				r5 = res.DDFsPer1000GroupsAt(p.MissionHours)
+			} else {
+				r6 = res.DDFsPer1000GroupsAt(p.MissionHours)
+			}
+		}
+	}
+	b.ReportMetric(r5, "raid5_losses_per_1000")
+	b.ReportMetric(r6, "raid6_losses_per_1000")
+}
+
+// BenchmarkGroupSizeSweep measures the "best RAID group size" design
+// query the paper's conclusion proposes, reporting the per-data-drive
+// risk at the extremes.
+func BenchmarkGroupSizeSweep(b *testing.B) {
+	var rows []experiments.GroupSizeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.GroupSizeSweep([]int{4, 8, 14}, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].PerDataDrive, "n4_per_drive")
+	b.ReportMetric(rows[len(rows)-1].PerDataDrive, "n14_per_drive")
+}
+
+// BenchmarkMixedVintages measures a group built half from the paper's
+// best vintage and half from its worst, versus the homogeneous base case.
+func BenchmarkMixedVintages(b *testing.B) {
+	mixed := core.BaseCase().WithMixedVintages([]core.WeibullSpec{
+		{Scale: 4.5444e5, Shape: 1.0987},
+		{Scale: 7.5012e4, Shape: 1.4873},
+	})
+	m, err := core.New(mixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(benchOpt.Iterations, benchOpt.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = res.DDFsPer1000GroupsAt(core.BaseMissionHours)
+	}
+	b.ReportMetric(v, "mixed_ddfs_per_1000")
+}
+
+// BenchmarkBathtubTTOp swaps the base TTOp for a bathtub lifetime (infant
+// mortality competing with wear-out) — the hazard structure the paper's
+// Fig. 1 populations actually exhibit — and reports the DDF shift.
+func BenchmarkBathtubTTOp(b *testing.B) {
+	bathtub := dist.MustCompetingRisks([]dist.Distribution{
+		dist.MustWeibull(0.6, 3e6, 0), // infant mortality burning off
+		dist.MustWeibull(3.0, 2e5, 0), // wear-out
+	})
+	cfg := baseSimConfig()
+	cfg.Trans.TTOp = bathtub
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = 0
+		res, err := sim.Run(sim.RunSpec{Config: cfg, Iterations: benchOpt.Iterations, Seed: benchOpt.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalDDFs
+	}
+	b.ReportMetric(float64(total)*1000/float64(benchOpt.Iterations), "bathtub_ddfs_per_1000")
+}
+
+// BenchmarkScrubShapeAblation tests the paper's §6.4 modeling choice: a
+// β = 3 Weibull scrub-time "produces a Normal shaped distribution". The
+// ablation swaps in an actual truncated normal with matched moments and
+// reports both DDF counts — they should be nearly identical, validating
+// the paper's parameterization.
+func BenchmarkScrubShapeAblation(b *testing.B) {
+	weibullScrub := dist.MustWeibull(3, 168, 6)
+	normalScrub := dist.MustTruncated(
+		dist.MustNormal(weibullScrub.Mean(), math.Sqrt(weibullScrub.Variance())),
+		6, 1000)
+	var wCount, nCount int
+	for i := 0; i < b.N; i++ {
+		for _, scrub := range []dist.Distribution{weibullScrub, normalScrub} {
+			cfg := baseSimConfig()
+			cfg.Trans.TTScrub = scrub
+			res, err := sim.Run(sim.RunSpec{Config: cfg, Iterations: benchOpt.Iterations, Seed: benchOpt.Seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if scrub == dist.Distribution(weibullScrub) {
+				wCount = res.TotalDDFs
+			} else {
+				nCount = res.TotalDDFs
+			}
+		}
+	}
+	b.ReportMetric(float64(wCount)*1000/float64(benchOpt.Iterations), "weibull3_ddfs_per_1000")
+	b.ReportMetric(float64(nCount)*1000/float64(benchOpt.Iterations), "truncnormal_ddfs_per_1000")
+}
+
+// BenchmarkRDPEncodeRebuild and BenchmarkRSEncodeRebuild compare the two
+// double-parity codecs: XOR-only row-diagonal parity versus GF(2^8)
+// Reed-Solomon P+Q, on a full write + double-failure rebuild cycle.
+func benchmarkCodec(b *testing.B, level raid.Level) {
+	const (
+		disks      = 8
+		stripeSets = 16
+		blockSize  = 4096
+	)
+	r := rng.New(1)
+	data := make([][][]byte, stripeSets)
+	var probe *raid.Array
+	{
+		var err error
+		probe, err = raid.New(level, disks, stripeSets, blockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for set := range data {
+		blocks := make([][]byte, probe.DataBlocksPerSet())
+		for i := range blocks {
+			blk := make([]byte, blockSize)
+			for j := range blk {
+				blk[j] = byte(r.Uint64())
+			}
+			blocks[i] = blk
+		}
+		data[set] = blocks
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := raid.New(level, disks, stripeSets, blockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for set := range data {
+			if err := a.WriteStripe(set, data[set]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := a.FailDisk(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.FailDisk(5); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.ReplaceDisk(1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.ReplaceDisk(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(stripeSets * probe.DataBlocksPerSet() * blockSize))
+}
+
+func BenchmarkRDPEncodeRebuild(b *testing.B) { benchmarkCodec(b, raid.RAID6) }
+
+func BenchmarkRSEncodeRebuild(b *testing.B) { benchmarkCodec(b, raid.RAID6RS) }
+
+// BenchmarkMarkovComparator measures the uniformization transient solve of
+// the Fig. 4 constant-rate chain — the analysis the Monte Carlo engine
+// replaces.
+func BenchmarkMarkovComparator(b *testing.B) {
+	chain, err := markov.NewFigureFourChain(markov.FigureFourRates{
+		N: 7, LambdaOp: 1 / 461386.0, LambdaLd: 1.08e-4,
+		MuRestore: 1 / 12.0, MuScrub: 1 / 156.0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p float64
+	for i := 0; i < b.N; i++ {
+		p, err = chain.AbsorptionProbability(markov.LDFullyFunctional, core.BaseMissionHours)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p, "absorption_prob_10y")
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates the tables and figures of Elerath &
+// Pecht, DSN 2007, from the raidrel model.
+//
+// Usage:
+//
+//	experiments [-iterations N] [-seed S] [-points P] [-csv] <experiment>
+//
+// where <experiment> is one of: table1, table2, table3, fig1, fig2, fig6,
+// fig7, fig8, fig9, fig10, sweepn (group-size sweep), sensitivity
+// (tornado analysis), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"raidrel/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	iterations := fs.Int("iterations", 10000, "simulated RAID groups per configuration")
+	seed := fs.Uint64("seed", 20070625, "master RNG seed")
+	points := fs.Int("points", 21, "curve grid points")
+	csv := fs.Bool("csv", false, "emit CSV instead of tables/plots")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one experiment name, got %d args (try: all)", fs.NArg())
+	}
+	opt := experiments.Options{Iterations: *iterations, Seed: *seed, CurvePoints: *points}
+	r := renderer{out: out, csv: *csv, opt: opt}
+
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "sweepn", "sensitivity"} {
+			if err := r.render(n); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	return r.render(name)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no experiment name accepted")
+	}
+	if err := run([]string{"nosuch"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-iterations", "0", "fig7"}, &sb); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"table1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"8.0e-15", "1.08e-03", "92593"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := run([]string{"table2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"461386", "TTScrub", "1.12"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestRunSimulatedExperiments(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"table3", "MTTDL"},
+		{"fig7", "no scrub"},
+		{"fig8", "ROCOF"}, // trend labels are noise at 60 iterations
+		{"fig9", "12 h scrub"},
+		{"fig10", "β = 0.80"},
+		{"sweepn", "per data drive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run([]string{"-iterations", "60", "-points", "4", tc.name}, &sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), tc.want) {
+				t.Errorf("%s output missing %q:\n%s", tc.name, tc.want, sb.String())
+			}
+		})
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-iterations", "60", "-points", "4", "-csv", "fig9"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "hours,") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 { // header + 4 grid points
+		t.Errorf("%d CSV lines", lines)
+	}
+}
+
+func TestRunFieldExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-iterations", "1", "fig1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "HDD #1") {
+		t.Error("fig1 missing population labels")
+	}
+	sb.Reset()
+	if err := run([]string{"-iterations", "1", "-csv", "fig2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lnT,Y") {
+		t.Error("fig2 CSV plot points missing")
+	}
+}

@@ -1,0 +1,9 @@
+package main
+
+import "flag"
+
+// newFlagSet returns a ContinueOnError flag set so run() surfaces parse
+// errors instead of exiting.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ContinueOnError)
+}

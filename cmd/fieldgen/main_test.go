@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, strings.NewReader(""), &sb); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, strings.NewReader(""), &sb); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"gen", "-pop", "nosuch"}, strings.NewReader(""), &sb); err == nil {
+		t.Error("unknown population accepted")
+	}
+	if err := run([]string{"fit", "a.csv", "b.csv"}, strings.NewReader(""), &sb); err == nil {
+		t.Error("two dataset files accepted")
+	}
+	if err := run([]string{"fit"}, strings.NewReader(""), &sb); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if err := run([]string{"fit"}, strings.NewReader("hours,censored\nabc,0\n"), &sb); err == nil {
+		t.Error("malformed hours accepted")
+	}
+}
+
+func TestGenThenFitRoundTrip(t *testing.T) {
+	var csvOut strings.Builder
+	err := run([]string{"gen", "-pop", "vintage3", "-units", "8000", "-seed", "5"},
+		strings.NewReader(""), &csvOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvOut.String(), "hours,censored\n") {
+		t.Fatal("CSV header missing")
+	}
+	var report strings.Builder
+	err = run([]string{"fit", "-gof-replicates", "29"},
+		strings.NewReader(csvOut.String()), &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	for _, want := range []string{"censored MLE", "β=1.4", "goodness of fit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fit report missing %q:\n%s", want, out)
+		}
+	}
+	// Vintage 3's true β is 1.4873; the report should not reject it.
+	if strings.Contains(out, "REJECTS") {
+		t.Errorf("true Weibull vintage rejected:\n%s", out)
+	}
+}
+
+func TestFitDetectsMechanismChange(t *testing.T) {
+	var csvOut strings.Builder
+	err := run([]string{"gen", "-pop", "hdd2", "-units", "3000", "-seed", "6"},
+		strings.NewReader(""), &csvOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	err = run([]string{"fit", "-gof-replicates", "29"},
+		strings.NewReader(csvOut.String()), &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "REJECTS") {
+		t.Errorf("HDD2 not rejected:\n%s", report.String())
+	}
+}
+
+func TestGenSkipsGoF(t *testing.T) {
+	var csvOut strings.Builder
+	if err := run([]string{"gen", "-pop", "hdd1", "-units", "500"},
+		strings.NewReader(""), &csvOut); err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	if err := run([]string{"fit", "-gof-replicates", "0"},
+		strings.NewReader(csvOut.String()), &report); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(report.String(), "goodness of fit") {
+		t.Error("GoF ran despite -gof-replicates 0")
+	}
+}

@@ -1,0 +1,58 @@
+// Command mttdl is the classical calculator the paper critiques: it
+// evaluates equations 1-3 (MTTDL and the homogeneous-Poisson DDF estimate)
+// for an N+1 RAID group, plus the minimum-rebuild-time floor of §6.2.
+//
+// Usage:
+//
+//	mttdl [-n 7] [-mtbf 461386] [-mttr 12] [-hours 87600] [-groups 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"raidrel/internal/analytic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mttdl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mttdl", flag.ContinueOnError)
+	n := fs.Int("n", 7, "data drives (group size is N+1)")
+	mtbf := fs.Float64("mtbf", 461386, "drive MTBF, hours")
+	mttr := fs.Float64("mttr", 12, "drive MTTR, hours")
+	hours := fs.Float64("hours", 87600, "operating horizon, hours")
+	groups := fs.Int("groups", 1000, "RAID groups in the fleet")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := analytic.MTTDLInput{N: *n, MTBF: *mtbf, MTTR: *mttr}
+	exact, err := analytic.MTTDL(in)
+	if err != nil {
+		return err
+	}
+	approx, err := analytic.MTTDLSimplified(in)
+	if err != nil {
+		return err
+	}
+	expected, err := analytic.ExpectedDDFs(in, *hours, *groups)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "N+1 RAID group: N=%d, MTBF=%.0f h, MTTR=%.1f h\n", *n, *mtbf, *mttr)
+	fmt.Fprintf(out, "MTTDL (eq. 1):            %.0f h = %.0f years\n", exact, analytic.Years(exact))
+	fmt.Fprintf(out, "MTTDL (eq. 2, mu>>lambda): %.0f h = %.0f years\n", approx, analytic.Years(approx))
+	fmt.Fprintf(out, "E[DDFs] (eq. 3):          %.4f over %.0f h across %d groups\n", expected, *hours, *groups)
+	fmt.Fprintln(out, "\nCaution: these numbers assume constant failure/repair rates and no")
+	fmt.Fprintln(out, "latent defects. The paper (and this library's simulator) shows they")
+	fmt.Fprintln(out, "understate double-disk failures by 2x-4000x. Run cmd/raidsim for the")
+	fmt.Fprintln(out, "enhanced model.")
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"36176 years", "36162 years", "0.2764"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCustomInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "13", "-mtbf", "1000000", "-mttr", "24", "-hours", "8760", "-groups", "100"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "N=13") {
+		t.Error("custom N not reflected")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mtbf", "-5"}, &sb); err == nil {
+		t.Error("negative MTBF accepted")
+	}
+	if err := run([]string{"-groups", "0"}, &sb); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

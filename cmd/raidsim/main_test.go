@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsReduced(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-iterations", "200"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mission total", "MTTDL view", "ld+op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-iterations", "100", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "hours,ddfs_per_1000_groups") {
+		t.Errorf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestRunNoLatentDefects(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-iterations", "100", "-ld-rate", "0"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 ld+op") {
+		t.Errorf("latent defects disabled but output says otherwise:\n%s", sb.String())
+	}
+}
+
+func TestRunRAID6(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-iterations", "100", "-redundancy", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "redundancy 2") {
+		t.Errorf("redundancy not reflected:\n%s", sb.String())
+	}
+}
+
+func TestRunTraceMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trace", "-seed", "3", "-ld-rate", "3e-4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"slot 0", "slot 7", "op failures", "defects"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-drives", "1"}, &sb); err == nil {
+		t.Error("single drive accepted")
+	}
+	if err := run([]string{"-op-beta", "-2"}, &sb); err == nil {
+		t.Error("negative shape accepted")
+	}
+	if err := run([]string{"-iterations", "0"}, &sb); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"raidrel/internal/core"
+	"raidrel/internal/report"
+	"raidrel/internal/rng"
+	"raidrel/internal/sim"
+)
+
+// lanesFromTrace folds a chronology event stream into per-slot down and
+// defect intervals for the timing diagram.
+func lanesFromTrace(trace *sim.Trace, drives int, horizon float64) []report.TimingLane {
+	type slotAcc struct {
+		downSince   float64
+		down        bool
+		defectCount int
+		defectSince float64
+		lane        report.TimingLane
+	}
+	accs := make([]slotAcc, drives)
+	for i := range accs {
+		accs[i].lane.Label = fmt.Sprintf("slot %d", i)
+	}
+	closeDefect := func(a *slotAcc, t float64) {
+		if a.defectCount > 0 {
+			a.lane.Defects = append(a.lane.Defects, [2]float64{a.defectSince, t})
+			a.defectCount = 0
+		}
+	}
+	for _, e := range trace.Events {
+		if e.Slot < 0 || e.Slot >= drives {
+			continue
+		}
+		a := &accs[e.Slot]
+		switch e.Kind {
+		case sim.TraceOpFail:
+			closeDefect(a, e.Time) // the dead drive's defects die with it
+			a.down, a.downSince = true, e.Time
+		case sim.TraceOpRestore:
+			if a.down {
+				a.lane.Down = append(a.lane.Down, [2]float64{a.downSince, e.Time})
+				a.down = false
+			}
+		case sim.TraceDefect:
+			if a.defectCount == 0 {
+				a.defectSince = e.Time
+			}
+			a.defectCount++
+		case sim.TraceScrub:
+			if a.defectCount > 0 {
+				a.defectCount--
+				if a.defectCount == 0 {
+					a.lane.Defects = append(a.lane.Defects, [2]float64{a.defectSince, e.Time})
+				}
+			}
+		}
+	}
+	lanes := make([]report.TimingLane, drives)
+	for i := range accs {
+		a := &accs[i]
+		if a.down {
+			a.lane.Down = append(a.lane.Down, [2]float64{a.downSince, horizon})
+		}
+		if a.defectCount > 0 {
+			a.lane.Defects = append(a.lane.Defects, [2]float64{a.defectSince, horizon})
+		}
+		lanes[i] = a.lane
+	}
+	return lanes
+}
+
+// renderTrace simulates a single group chronology and prints its Fig.-5
+// style timing diagram plus the event log.
+func renderTrace(out io.Writer, p core.Params, seed uint64) error {
+	m, err := core.New(p)
+	if err != nil {
+		return err
+	}
+	cfg := m.SimConfig()
+	var trace sim.Trace
+	ddfs, err := sim.SimulateTraced(cfg, rng.New(seed), &trace)
+	if err != nil {
+		return err
+	}
+	diagram := &report.TimingDiagram{
+		Title:   fmt.Sprintf("group chronology, seed %d (Fig. 5 style)", seed),
+		Horizon: p.MissionHours,
+		Width:   100,
+		Lanes:   lanesFromTrace(&trace, p.GroupSize, p.MissionHours),
+	}
+	for _, d := range ddfs {
+		label := byte('X') // op+op
+		if d.Cause == sim.CauseLdOp {
+			label = 'L'
+		}
+		diagram.Marks = append(diagram.Marks, report.TimingMark{Time: d.Time, Label: label})
+	}
+	if err := diagram.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n%d op failures, %d defects, %d scrub corrections, %d DDFs (X op+op, L ld+op)\n",
+		trace.Count(sim.TraceOpFail), trace.Count(sim.TraceDefect),
+		trace.Count(sim.TraceScrub), len(ddfs))
+	for _, d := range ddfs {
+		fmt.Fprintf(out, "  DDF at %8.0f h (%s)\n", d.Time, d.Cause)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// RAID6 demo: the paper's closing claim — "eventually, RAID 6 will be
+// required" — demonstrated at two levels.
+//
+// Level 1 (physical): an in-memory 8-disk array with real parity. A
+// latent sector defect is injected on one drive, a different drive fails,
+// and the rebuild runs: single parity loses the affected stripe, while
+// row-diagonal parity (Corbett et al., the paper's ref. [24]) recovers it.
+//
+// Level 2 (statistical): the reliability model run with redundancy 1
+// versus 2 under identical failure, defect, and scrub distributions.
+//
+//	go run ./examples/raid6demo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raidrel/internal/core"
+	"raidrel/internal/raid"
+	"raidrel/internal/rng"
+)
+
+func main() {
+	if err := physical(); err != nil {
+		log.Fatal(err)
+	}
+	if err := statistical(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func physical() error {
+	fmt.Println("== physical level: one latent defect + one drive loss ==")
+	for _, level := range []raid.Level{raid.RAID5, raid.RAID6} {
+		a, err := raid.New(level, 8, 64, 512)
+		if err != nil {
+			return err
+		}
+		r := rng.New(1)
+		for set := 0; set < a.StripeSets(); set++ {
+			data := make([][]byte, a.DataBlocksPerSet())
+			for i := range data {
+				blk := make([]byte, 512)
+				for j := range blk {
+					blk[j] = byte(r.Intn(256))
+				}
+				data[i] = blk
+			}
+			if err := a.WriteStripe(set, data); err != nil {
+				return err
+			}
+		}
+		// A latent defect lands on disk 2, stripe set 17 — silent: the
+		// checksum still claims the old data.
+		if err := a.CorruptBlock(2, 17, 0); err != nil {
+			return err
+		}
+		// Then disk 5 dies and is replaced.
+		if err := a.FailDisk(5); err != nil {
+			return err
+		}
+		rep, err := a.ReplaceDisk(5)
+		if err != nil {
+			return err
+		}
+		if len(rep.LostSets) == 0 {
+			fmt.Printf("  %-9s rebuild recovered all %d stripe sets\n", level, a.StripeSets())
+		} else {
+			fmt.Printf("  %-9s rebuild LOST stripe sets %v (the latent defect met the dead disk)\n",
+				level, rep.LostSets)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func statistical() error {
+	fmt.Println("== statistical level: 10-year DDF risk, identical drives ==")
+	base := core.BaseCase().WithScrubPeriod(168)
+	for _, redundancy := range []int{1, 2} {
+		p := base
+		p.Redundancy = redundancy
+		model, err := core.New(p)
+		if err != nil {
+			return err
+		}
+		res, err := model.Run(3000, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  redundancy %d (RAID %d): %8.2f data-loss events per 1,000 groups\n",
+			redundancy, 4+redundancy, res.DDFsPer1000GroupsAt(p.MissionHours))
+	}
+	fmt.Println("\nDouble parity turns the dominant latent+operational coincidence from")
+	fmt.Println("a data-loss event into a recoverable one; only rarer triple")
+	fmt.Println("coincidences remain.")
+	return nil
+}

@@ -1,0 +1,97 @@
+// Scrub tuning: an operator sizing the scrub period for a 14-drive SATA
+// shelf under three workload profiles. The example derives the latent-
+// defect rate from the workload's read volume (Table 1 arithmetic), the
+// rebuild floor from drive geometry (§6.2), sweeps scrub periods, and
+// prints the resulting 5-year DDF risk for each combination.
+//
+//	go run ./examples/scrubtuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"raidrel/internal/core"
+	"raidrel/internal/hdd"
+	"raidrel/internal/report"
+	"raidrel/internal/scrub"
+	"raidrel/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		groupSize  = 14
+		mission    = 5 * 8760 // 5 years
+		iterations = 1500
+	)
+	drive := hdd.SATA500GB
+	profiles := []workload.Profile{workload.Archive, workload.Nearline, workload.Transactional}
+	periods := []float64{0, 336, 168, 48, 12}
+
+	table := report.NewTable("workload", "defect rate (/h)", "rebuild floor (h)",
+		"scrub (h)", "DDFs/1000 groups in 5 y")
+	for _, prof := range profiles {
+		rate, err := workload.DefectRate(workload.RERMedium, prof.BytesPerHour)
+		if err != nil {
+			return err
+		}
+		restore, err := drive.RestoreSpec(groupSize, prof.ForegroundShare, 2)
+		if err != nil {
+			return err
+		}
+		for _, period := range periods {
+			p := core.Params{
+				GroupSize:    groupSize,
+				Redundancy:   1,
+				MissionHours: mission,
+				TTOp:         core.WeibullSpec{Scale: core.BaseMTBFHours, Shape: 1.12},
+				TTR: core.WeibullSpec{
+					Location: restore.Location(),
+					Scale:    restore.Scale(),
+					Shape:    restore.Shape(),
+				},
+				LatentDefects: true,
+				TTLd:          core.WeibullSpec{Scale: 1 / rate, Shape: 1},
+			}
+			policy := scrub.Policy{PeriodHours: period, Drive: &drive, ForegroundShare: prof.ForegroundShare}
+			p, err := policy.Apply(p)
+			if err != nil {
+				return err
+			}
+			model, err := core.New(p)
+			if err != nil {
+				return err
+			}
+			res, err := model.Run(iterations, 7)
+			if err != nil {
+				return err
+			}
+			label := fmt.Sprintf("%.0f", period)
+			if period == 0 {
+				label = "none"
+			}
+			table.AddRow(prof.Name,
+				fmt.Sprintf("%.2e", rate),
+				fmt.Sprintf("%.1f", restore.Location()),
+				label,
+				fmt.Sprintf("%.1f", res.DDFsPer1000GroupsAt(mission)),
+			)
+		}
+	}
+	fmt.Println("Scrub-period sweep, 14x SATA-500GB, RAID5, medium read-error rate")
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nReading the table: heavier workloads corrupt data faster AND slow")
+	fmt.Println("rebuilds, so they need much shorter scrub periods to hold the same")
+	fmt.Println("risk. 'none' rows show why unscrubbed systems are, in the paper's")
+	fmt.Println("words, a recipe for disaster.")
+	return nil
+}

@@ -1,0 +1,86 @@
+// Vintage analysis: the full field-data-to-fleet-risk pipeline. Three
+// drive vintages are observed in the field (synthetic populations with the
+// paper's Fig. 2 parameters), their lifetime distributions are re-fitted
+// from the censored returns by maximum likelihood, and the fitted
+// parameters drive the reliability model to rank vintages by double-disk-
+// failure risk — exactly how the paper intends RAID architects to use it.
+//
+//	go run ./examples/vintageanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"raidrel/internal/core"
+	"raidrel/internal/field"
+	"raidrel/internal/fit"
+	"raidrel/internal/report"
+	"raidrel/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const fieldWindow = 10000 // hours of field exposure observed
+	r := rng.New(2026)
+	table := report.NewTable("vintage", "failures", "suspensions",
+		"fitted β", "fitted η (h)", "5-year DDFs/1000 groups")
+
+	type fitted struct {
+		name string
+		p    fit.Params
+	}
+	var fits []fitted
+	for _, v := range field.PaperVintages() {
+		obs, err := v.Population(fieldWindow).Observe(r)
+		if err != nil {
+			return err
+		}
+		params, err := fit.MLE(obs)
+		if err != nil {
+			return fmt.Errorf("fit %s: %w", v.Name, err)
+		}
+		failures := 0
+		for _, o := range obs {
+			if !o.Censored {
+				failures++
+			}
+		}
+		fits = append(fits, fitted{name: v.Name, p: params})
+
+		// Feed the fitted distribution into the reliability model.
+		mp := core.BaseCase()
+		mp.MissionHours = 5 * 8760
+		mp.TTOp = core.WeibullSpec{Scale: params.Scale, Shape: params.Shape}
+		model, err := core.New(mp)
+		if err != nil {
+			return err
+		}
+		res, err := model.Run(1500, 11)
+		if err != nil {
+			return err
+		}
+		table.AddRow(v.Name,
+			fmt.Sprintf("%d", failures),
+			fmt.Sprintf("%d", len(obs)-failures),
+			fmt.Sprintf("%.3f", params.Shape),
+			fmt.Sprintf("%.3g", params.Scale),
+			fmt.Sprintf("%.1f", res.DDFsPer1000GroupsAt(mp.MissionHours)),
+		)
+	}
+	fmt.Println("Field returns -> censored MLE -> fleet DDF risk (8-drive RAID5, 168 h scrub)")
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nNote how vintages of the *same* drive model carry different β and η —")
+	fmt.Println("the paper's Fig. 2 — and how that propagates to materially different")
+	fmt.Println("fleet risk. A single constant MTBF cannot express this.")
+	_ = fits
+	return nil
+}

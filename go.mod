@@ -1,0 +1,3 @@
+module raidrel
+
+go 1.22

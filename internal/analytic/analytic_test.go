@@ -1,0 +1,231 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+var paperBase = MTTDLInput{N: 7, MTBF: 461386, MTTR: 12}
+
+// Equation 3 of the paper: MTTDL of 36,162 years for MTBF 461,386 h,
+// MTTR 12 h, N = 7.
+func TestMTTDLPaperValue(t *testing.T) {
+	m, err := MTTDL(paperBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := Years(m)
+	if math.Abs(years-36162) > 50 {
+		t.Errorf("MTTDL = %v years, want ~36,162", years)
+	}
+}
+
+// Equation 3: 10 years × 1,000 RAID groups / 36,162 years ≈ 0.277 DDFs.
+func TestExpectedDDFsPaperValue(t *testing.T) {
+	got, err := ExpectedDDFs(paperBase, 87600, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.277) > 0.005 {
+		t.Errorf("E[DDFs] = %v, want ~0.277", got)
+	}
+}
+
+// Equation 2 must approach equation 1 when μ >> λ.
+func TestSimplifiedConvergesToExact(t *testing.T) {
+	exact, err := MTTDL(paperBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := MTTDLSimplified(paperBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(exact-approx) / exact; rel > 1e-3 {
+		t.Errorf("relative gap %v too large for MTTR << MTBF", rel)
+	}
+	// With a slow repair the gap must widen and eq.1 must exceed eq.2.
+	slow := MTTDLInput{N: 7, MTBF: 1000, MTTR: 500}
+	e, _ := MTTDL(slow)
+	a, _ := MTTDLSimplified(slow)
+	if e <= a {
+		t.Errorf("exact %v should exceed simplified %v when repair is slow", e, a)
+	}
+}
+
+func TestMTTDLScalesWithGroupSize(t *testing.T) {
+	small, _ := MTTDL(MTTDLInput{N: 3, MTBF: 461386, MTTR: 12})
+	large, _ := MTTDL(MTTDLInput{N: 13, MTBF: 461386, MTTR: 12})
+	if large >= small {
+		t.Errorf("bigger group should lose data sooner: %v >= %v", large, small)
+	}
+	// Eq.2 ratio is N(N+1): 3·4 / 13·14 = 12/182.
+	ratio := large / small
+	want := 12.0 / 182.0
+	if math.Abs(ratio-want) > 0.01 {
+		t.Errorf("MTTDL ratio %v, want ~%v", ratio, want)
+	}
+}
+
+func TestMTTDLValidation(t *testing.T) {
+	bad := []MTTDLInput{
+		{N: 0, MTBF: 1, MTTR: 1},
+		{N: 7, MTBF: 0, MTTR: 1},
+		{N: 7, MTBF: 1, MTTR: -1},
+		{N: 7, MTBF: math.Inf(1), MTTR: 1},
+	}
+	for _, in := range bad {
+		if _, err := MTTDL(in); err == nil {
+			t.Errorf("MTTDL accepted %+v", in)
+		}
+		if _, err := MTTDLSimplified(in); err == nil {
+			t.Errorf("MTTDLSimplified accepted %+v", in)
+		}
+	}
+	if _, err := ExpectedDDFs(paperBase, -1, 10); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := ExpectedDDFs(paperBase, 10, 0); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestMTTDLDoubleParity(t *testing.T) {
+	dp, err := MTTDLDoubleParity(paperBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := MTTDL(paperBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m = 9: MTBF³/(9·8·7·144) hours.
+	want := math.Pow(461386, 3) / (9 * 8 * 7 * 144)
+	if math.Abs(dp-want)/want > 1e-12 {
+		t.Errorf("MTTDL6 = %v, want %v", dp, want)
+	}
+	if dp < single*1000 {
+		t.Errorf("double parity %v not >> single %v", dp, single)
+	}
+	if _, err := MTTDLDoubleParity(MTTDLInput{N: 0, MTBF: 1, MTTR: 1}); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+// §6.2 worked example: 500 GB SATA drive, 1.5 Gb/s bus, group of 14 →
+// ~10.4 hours minimum rebuild.
+func TestMinRebuildHoursSATAExample(t *testing.T) {
+	got, err := MinRebuildHours(RebuildInput{
+		CapacityBytes: 500 * GB,
+		DriveRateBps:  FCDriveRate,
+		BusRateBps:    SATA15Gb,
+		GroupSize:     14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10.4) > 0.1 {
+		t.Errorf("SATA rebuild = %v h, want ~10.4", got)
+	}
+}
+
+// §6.2 worked example: 144 GB FC drive, 2 Gb/s bus, group of 14 → the
+// paper quotes "a minimum of three hours"; the bus arithmetic gives ~2.2 h,
+// so assert the 2-3.5 h band.
+func TestMinRebuildHoursFCExample(t *testing.T) {
+	got, err := MinRebuildHours(RebuildInput{
+		CapacityBytes: 144 * GB,
+		DriveRateBps:  FCDriveRate,
+		BusRateBps:    FibreChannel2Gb,
+		GroupSize:     14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 2 || got > 3.5 {
+		t.Errorf("FC rebuild = %v h, want in [2, 3.5]", got)
+	}
+}
+
+func TestForegroundIOLengthensRebuild(t *testing.T) {
+	in := RebuildInput{
+		CapacityBytes: 500 * GB,
+		DriveRateBps:  FCDriveRate,
+		BusRateBps:    SATA15Gb,
+		GroupSize:     14,
+	}
+	idle, err := MinRebuildHours(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.ForegroundShare = 0.5
+	busy, err := MinRebuildHours(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(busy-2*idle) > 1e-9 {
+		t.Errorf("50%% foreground should double rebuild: %v vs %v", busy, idle)
+	}
+}
+
+func TestDriveRateBottleneck(t *testing.T) {
+	// A huge bus makes the replacement drive the bottleneck.
+	got, err := MinRebuildHours(RebuildInput{
+		CapacityBytes: 500 * GB,
+		DriveRateBps:  FCDriveRate,
+		BusRateBps:    1e12,
+		GroupSize:     14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500 * GB / FCDriveRate / 3600
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("drive-limited rebuild = %v, want %v", got, want)
+	}
+}
+
+func TestMinScrubHours(t *testing.T) {
+	got, err := MinScrubHours(RebuildInput{
+		CapacityBytes: 144 * GB,
+		DriveRateBps:  FCDriveRate,
+		BusRateBps:    FibreChannel2Gb,
+		GroupSize:     14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 144 * GB / FCDriveRate / 3600 // 0.8 h
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("scrub = %v, want %v", got, want)
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	good := RebuildInput{CapacityBytes: GB, DriveRateBps: 1, BusRateBps: 1, GroupSize: 2}
+	bad := []func(RebuildInput) RebuildInput{
+		func(in RebuildInput) RebuildInput { in.CapacityBytes = 0; return in },
+		func(in RebuildInput) RebuildInput { in.DriveRateBps = -1; return in },
+		func(in RebuildInput) RebuildInput { in.BusRateBps = 0; return in },
+		func(in RebuildInput) RebuildInput { in.GroupSize = 1; return in },
+		func(in RebuildInput) RebuildInput { in.ForegroundShare = 1; return in },
+		func(in RebuildInput) RebuildInput { in.ForegroundShare = -0.1; return in },
+	}
+	if _, err := MinRebuildHours(good); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	for i, mutate := range bad {
+		if _, err := MinRebuildHours(mutate(good)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := MinScrubHours(mutate(good)); err == nil {
+			t.Errorf("scrub case %d accepted", i)
+		}
+	}
+}
+
+func TestYears(t *testing.T) {
+	if Years(87600) != 10 {
+		t.Errorf("Years(87600) = %v", Years(87600))
+	}
+}

@@ -1,0 +1,100 @@
+// Package analytic implements the closed-form reliability estimates the
+// paper critiques: the MTTDL expressions of equations 1-3 and the
+// homogeneous-Poisson expected-failure count they imply, plus the
+// minimum-rebuild-time arithmetic of §6.2.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// MTTDLInput holds the constant-rate parameters of the classic MTTDL
+// calculation for an N+1 RAID group.
+type MTTDLInput struct {
+	N    int     // data drives; the group has N+1 drives total
+	MTBF float64 // mean time between drive failures, hours (1/λ)
+	MTTR float64 // mean time to restore a failed drive, hours (1/μ)
+}
+
+func (in MTTDLInput) validate() error {
+	if in.N < 1 {
+		return fmt.Errorf("analytic: N must be >= 1, got %d", in.N)
+	}
+	if !(in.MTBF > 0) || math.IsInf(in.MTBF, 0) {
+		return fmt.Errorf("analytic: MTBF must be positive and finite, got %v", in.MTBF)
+	}
+	if !(in.MTTR > 0) || math.IsInf(in.MTTR, 0) {
+		return fmt.Errorf("analytic: MTTR must be positive and finite, got %v", in.MTTR)
+	}
+	return nil
+}
+
+// MTTDL returns the paper's equation 1 in hours:
+//
+//	MTTDL = ((2N+1)λ + μ) / (N(N+1)λ²)
+func MTTDL(in MTTDLInput) (float64, error) {
+	if err := in.validate(); err != nil {
+		return 0, err
+	}
+	lambda := 1 / in.MTBF
+	mu := 1 / in.MTTR
+	n := float64(in.N)
+	return ((2*n+1)*lambda + mu) / (n * (n + 1) * lambda * lambda), nil
+}
+
+// MTTDLSimplified returns the paper's equation 2, the usual μ >> λ
+// approximation:
+//
+//	MTTDL ≈ μ / (N(N+1)λ²) = MTBF² / (N(N+1) MTTR)
+func MTTDLSimplified(in MTTDLInput) (float64, error) {
+	if err := in.validate(); err != nil {
+		return 0, err
+	}
+	n := float64(in.N)
+	return in.MTBF * in.MTBF / (n * (n + 1) * in.MTTR), nil
+}
+
+// ExpectedDDFs returns the paper's equation 3: the homogeneous-Poisson
+// estimate of double-disk failures across a fleet,
+//
+//	E[N(t)] = hours × groups / MTTDL.
+//
+// The paper's worked example (10 years, 1,000 groups, MTTDL 36,162 years)
+// yields ≈ 0.277.
+func ExpectedDDFs(in MTTDLInput, hours float64, groups int) (float64, error) {
+	if hours < 0 || math.IsNaN(hours) || math.IsInf(hours, 0) {
+		return 0, fmt.Errorf("analytic: invalid horizon %v", hours)
+	}
+	if groups < 1 {
+		return 0, fmt.Errorf("analytic: groups must be >= 1, got %d", groups)
+	}
+	m, err := MTTDL(in)
+	if err != nil {
+		return 0, err
+	}
+	return hours * float64(groups) / m, nil
+}
+
+// MTTDLDoubleParity returns the classical double-parity (RAID 6)
+// approximation for a group with N data drives plus two parity drives,
+// assuming sequential repair and μ >> λ:
+//
+//	MTTDL₆ ≈ MTBF³ / (m(m-1)(m-2) · MTTR²),  m = N+2.
+//
+// The paper's conclusion ("eventually, RAID 6 will be required") trades
+// on this number being enormous — and on it being just as blind to latent
+// defects and non-constant rates as equation 1.
+func MTTDLDoubleParity(in MTTDLInput) (float64, error) {
+	if err := in.validate(); err != nil {
+		return 0, err
+	}
+	m := float64(in.N + 2)
+	return in.MTBF * in.MTBF * in.MTBF / (m * (m - 1) * (m - 2) * in.MTTR * in.MTTR), nil
+}
+
+// HoursPerYear is the paper's convention (365-day year).
+const HoursPerYear = 8760.0
+
+// Years converts hours to years under the paper's convention.
+func Years(hours float64) float64 { return hours / HoursPerYear }

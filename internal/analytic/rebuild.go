@@ -1,0 +1,83 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// RebuildInput describes the drive and bus characteristics that set the
+// hard minimum rebuild (or scrub) time of §6.2: the reconstruction of a
+// failed drive must read every surviving drive and write the replacement,
+// gated by both the per-drive streaming rate and the shared bus.
+type RebuildInput struct {
+	CapacityBytes   float64 // per-drive capacity to reconstruct
+	DriveRateBps    float64 // sustained per-drive transfer rate, bytes/s
+	BusRateBps      float64 // shared data-bus bandwidth, bytes/s
+	GroupSize       int     // drives on the bus participating in rebuild
+	ForegroundShare float64 // fraction of bandwidth consumed by user IO, [0, 1)
+}
+
+func (in RebuildInput) validate() error {
+	if !(in.CapacityBytes > 0) || math.IsInf(in.CapacityBytes, 0) {
+		return fmt.Errorf("analytic: capacity must be positive, got %v", in.CapacityBytes)
+	}
+	if !(in.DriveRateBps > 0) || !(in.BusRateBps > 0) {
+		return fmt.Errorf("analytic: transfer rates must be positive, got drive=%v bus=%v",
+			in.DriveRateBps, in.BusRateBps)
+	}
+	if in.GroupSize < 2 {
+		return fmt.Errorf("analytic: group size must be >= 2, got %d", in.GroupSize)
+	}
+	if in.ForegroundShare < 0 || in.ForegroundShare >= 1 || math.IsNaN(in.ForegroundShare) {
+		return fmt.Errorf("analytic: foreground share must be in [0,1), got %v", in.ForegroundShare)
+	}
+	return nil
+}
+
+// MinRebuildHours returns the minimum number of hours to reconstruct one
+// failed drive with the given share of bandwidth left after foreground IO.
+//
+// Rebuilding one drive requires reading the other GroupSize-1 drives in
+// full and writing the replacement, so the bus must move
+// GroupSize × CapacityBytes while the replacement drive itself can absorb
+// writes no faster than DriveRateBps. The minimum time is the larger of
+// the two bottlenecks.
+//
+// The paper's worked examples: 14 × 144 GB over a 2 Gb/s Fibre Channel bus
+// needs about 3 hours with no foreground IO; a 500 GB SATA drive on a
+// 1.5 Gb/s bus needs about 10.4 hours.
+func MinRebuildHours(in RebuildInput) (float64, error) {
+	if err := in.validate(); err != nil {
+		return 0, err
+	}
+	avail := 1 - in.ForegroundShare
+	busSeconds := in.CapacityBytes * float64(in.GroupSize) / (in.BusRateBps * avail)
+	driveSeconds := in.CapacityBytes / (in.DriveRateBps * avail)
+	return math.Max(busSeconds, driveSeconds) / 3600, nil
+}
+
+// MinScrubHours returns the minimum number of hours for one full-disk
+// verify pass: every byte of the drive must be read at the effective drive
+// rate after foreground IO (a scrub reads each drive independently, so the
+// bus is not the bottleneck for a single drive's pass).
+func MinScrubHours(in RebuildInput) (float64, error) {
+	if err := in.validate(); err != nil {
+		return 0, err
+	}
+	avail := 1 - in.ForegroundShare
+	return in.CapacityBytes / (in.DriveRateBps * avail) / 3600, nil
+}
+
+// Drive/bus constants for the paper's §6.2 worked examples. Rates follow
+// the paper's arithmetic: "giga-bit" buses deliver bits, drives sustain
+// tens of MB/s.
+const (
+	GB = 1e9 // the paper's drive capacities are decimal gigabytes
+
+	// FibreChannel2Gb is a 2 Gb/s bus in bytes/second.
+	FibreChannel2Gb = 2e9 / 8
+	// SATA15Gb is a 1.5 Gb/s bus in bytes/second.
+	SATA15Gb = 1.5e9 / 8
+	// FCDriveRate is the paper's "50 MB/sec is more common" sustained rate.
+	FCDriveRate = 50e6
+)

@@ -1,0 +1,392 @@
+// Package core is the paper's model: a RAID N+1 group whose drives fail
+// operationally, silently corrupt data, get rebuilt, and get scrubbed
+// according to generalized (three-parameter Weibull) distributions, with
+// double-disk failures counted by sequential Monte Carlo simulation. It
+// ties the dist, sim, stats, analytic, and markov substrates into the
+// public API the examples and experiments consume.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/analytic"
+	"raidrel/internal/dist"
+	"raidrel/internal/sim"
+	"raidrel/internal/stats"
+)
+
+// WeibullSpec is a three-parameter Weibull in the paper's (γ, η, β)
+// notation.
+type WeibullSpec struct {
+	Location float64 // γ, hours
+	Scale    float64 // η, hours
+	Shape    float64 // β
+}
+
+// Dist materializes the spec.
+func (s WeibullSpec) Dist() (dist.Weibull, error) {
+	return dist.NewWeibull(s.Shape, s.Scale, s.Location)
+}
+
+// Params is the full parameterization of one study — the programmatic form
+// of the paper's Table 2 plus the structural knobs (group size, redundancy,
+// mission, which processes are enabled).
+type Params struct {
+	// GroupSize is the total number of drives (the paper's N+1).
+	GroupSize int
+	// Redundancy is the number of tolerated simultaneous drive losses:
+	// 1 models RAID 4/5, 2 models the RAID 6 extension.
+	Redundancy int
+	// MissionHours is the simulated horizon (87,600 in the paper).
+	MissionHours float64
+
+	// TTOp is the time-to-operational-failure distribution.
+	TTOp WeibullSpec
+	// TTR is the time-to-restore distribution.
+	TTR WeibullSpec
+
+	// LatentDefects enables the usage-dependent data-corruption process.
+	LatentDefects bool
+	// TTLd is the time-to-latent-defect distribution (β = 1 in the paper:
+	// corruption arrives at a constant usage-driven rate).
+	TTLd WeibullSpec
+
+	// Scrub enables background scrubbing of latent defects.
+	Scrub bool
+	// TTScrub is the time from defect creation to scrub correction.
+	TTScrub WeibullSpec
+
+	// SlotTTOp optionally gives each drive slot its own operational-failure
+	// distribution — a group assembled from mixed manufacturing vintages
+	// (Fig. 2). When non-empty its length must equal GroupSize; zero-value
+	// entries fall back to TTOp.
+	SlotTTOp []WeibullSpec
+
+	// Spares optionally bounds the spare-drive pool (the paper assumes a
+	// spare is always available); nil keeps that assumption.
+	Spares *sim.SparePolicy
+
+	// ExponentialOp forces a constant-rate TTOp with the same mean as the
+	// Weibull spec (the paper's "c-" variants in Fig. 6).
+	ExponentialOp bool
+	// ExponentialRestore forces a constant-rate TTR with the same mean
+	// (the "-c" variants).
+	ExponentialRestore bool
+}
+
+// Base case of the paper's Table 2 (§6, reconstructed — see DESIGN.md):
+// TTOp Weibull(γ=0, η=461,386, β=1.12); TTR Weibull(γ=6, η=12, β=2);
+// TTLd constant rate 1.08e-4/h (medium read-error rate at the low hourly
+// read volume of Table 1), i.e. Weibull(γ=0, η=9,259, β=1); TTScrub
+// Weibull(γ=6, η=168, β=3).
+const (
+	// BaseMTBFHours is the characteristic life of the field TTOp fit.
+	BaseMTBFHours = 461386
+	// BaseTTLdScaleHours is 1/1.08e-4, the Table 1 medium×low cell.
+	BaseTTLdScaleHours = 9259
+	// BaseMissionHours is the paper's 10-year mission.
+	BaseMissionHours = 87600
+	// BaseScrubHours is the paper's base-case 168-hour scrub.
+	BaseScrubHours = 168
+)
+
+// BaseCase returns the paper's base-case parameters: 8 drives, 10-year
+// mission, latent defects on, 168-hour scrubbing.
+func BaseCase() Params {
+	return Params{
+		GroupSize:     8,
+		Redundancy:    1,
+		MissionHours:  BaseMissionHours,
+		TTOp:          WeibullSpec{Location: 0, Scale: BaseMTBFHours, Shape: 1.12},
+		TTR:           WeibullSpec{Location: 6, Scale: 12, Shape: 2},
+		LatentDefects: true,
+		TTLd:          WeibullSpec{Location: 0, Scale: BaseTTLdScaleHours, Shape: 1},
+		Scrub:         true,
+		TTScrub:       WeibullSpec{Location: 6, Scale: BaseScrubHours, Shape: 3},
+	}
+}
+
+// WithScrubPeriod returns a copy of p scrubbing with characteristic period
+// hours (Fig. 9's 12/48/168/336-hour sweep); hours <= 0 disables scrubbing.
+func (p Params) WithScrubPeriod(hours float64) Params {
+	if hours <= 0 {
+		p.Scrub = false
+		return p
+	}
+	p.Scrub = true
+	loc := p.TTScrub.Location
+	if loc <= 0 {
+		loc = 6
+	}
+	if loc >= hours {
+		// Keep the minimum below the characteristic period for very fast
+		// scrubs.
+		loc = hours / 2
+	}
+	p.TTScrub = WeibullSpec{Location: loc, Scale: hours, Shape: 3}
+	return p
+}
+
+// WithoutLatentDefects returns a copy of p with the corruption process
+// disabled (the Fig. 6 variants).
+func (p Params) WithoutLatentDefects() Params {
+	p.LatentDefects = false
+	p.Scrub = false
+	return p
+}
+
+// WithOpShape returns a copy of p with the TTOp shape parameter replaced
+// at fixed characteristic life (Fig. 10's β sweep).
+func (p Params) WithOpShape(beta float64) Params {
+	p.TTOp.Shape = beta
+	return p
+}
+
+// simConfig lowers Params to the engine configuration.
+func (p Params) simConfig() (sim.Config, error) {
+	ttop, err := p.TTOp.Dist()
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("core: TTOp: %w", err)
+	}
+	ttr, err := p.TTR.Dist()
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("core: TTR: %w", err)
+	}
+	trans := sim.Transitions{TTOp: ttop, TTR: ttr}
+	if p.ExponentialOp {
+		// The paper's constant-rate variants use the nominal MTBF (the
+		// characteristic life η fed to equation 3), so the c-c case tracks
+		// the MTTDL line.
+		e, err := dist.ExponentialFromMean(p.TTOp.Scale)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("core: exponential TTOp: %w", err)
+		}
+		trans.TTOp = e
+	}
+	if p.ExponentialRestore {
+		e, err := dist.ExponentialFromMean(p.TTR.Scale)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("core: exponential TTR: %w", err)
+		}
+		trans.TTR = e
+	}
+	if p.LatentDefects {
+		ttld, err := p.TTLd.Dist()
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("core: TTLd: %w", err)
+		}
+		trans.TTLd = ttld
+		if p.Scrub {
+			scrub, err := p.TTScrub.Dist()
+			if err != nil {
+				return sim.Config{}, fmt.Errorf("core: TTScrub: %w", err)
+			}
+			trans.TTScrub = scrub
+		}
+	}
+	cfg := sim.Config{
+		Drives:     p.GroupSize,
+		Redundancy: p.Redundancy,
+		Mission:    p.MissionHours,
+		Trans:      trans,
+		Spares:     p.Spares,
+	}
+	if len(p.SlotTTOp) > 0 {
+		if len(p.SlotTTOp) != p.GroupSize {
+			return sim.Config{}, fmt.Errorf("core: %d slot TTOp specs for %d drives",
+				len(p.SlotTTOp), p.GroupSize)
+		}
+		cfg.SlotTTOp = make([]dist.Distribution, p.GroupSize)
+		for i, spec := range p.SlotTTOp {
+			if spec == (WeibullSpec{}) {
+				continue // fall back to the group TTOp
+			}
+			d, err := spec.Dist()
+			if err != nil {
+				return sim.Config{}, fmt.Errorf("core: slot %d TTOp: %w", i, err)
+			}
+			cfg.SlotTTOp[i] = d
+		}
+	}
+	return cfg, nil
+}
+
+// WithMixedVintages returns a copy of p whose drives cycle through the
+// given vintage TTOp specs (slot i gets vintages[i mod len]).
+func (p Params) WithMixedVintages(vintages []WeibullSpec) Params {
+	if len(vintages) == 0 {
+		p.SlotTTOp = nil
+		return p
+	}
+	slots := make([]WeibullSpec, p.GroupSize)
+	for i := range slots {
+		slots[i] = vintages[i%len(vintages)]
+	}
+	p.SlotTTOp = slots
+	return p
+}
+
+// Model is a runnable study.
+type Model struct {
+	params Params
+	cfg    sim.Config
+}
+
+// New validates p and returns a Model.
+func New(p Params) (*Model, error) {
+	cfg, err := p.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{params: p, cfg: cfg}, nil
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.params }
+
+// SimConfig returns the validated engine configuration the model runs —
+// for advanced uses such as tracing single chronologies with
+// sim.SimulateTraced or swapping in custom engines.
+func (m *Model) SimConfig() sim.Config { return m.cfg }
+
+// Run simulates the given number of independent RAID groups with the given
+// seed and returns the aggregated result. Iterations is the paper's "RAID
+// groups monitored": 1,000 groups × 10 years in the headline numbers.
+func (m *Model) Run(iterations int, seed uint64) (*Result, error) {
+	res, err := sim.Run(sim.RunSpec{
+		Config:     m.cfg,
+		Iterations: iterations,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mcf, err := stats.MCF(res.EventTimes(), iterations)
+	if err != nil {
+		return nil, fmt.Errorf("core: mcf: %w", err)
+	}
+	return &Result{
+		Groups:  iterations,
+		Mission: m.params.MissionHours,
+		Raw:     res,
+		mcf:     mcf,
+	}, nil
+}
+
+// Result aggregates one Monte Carlo campaign.
+type Result struct {
+	Groups  int
+	Mission float64
+	Raw     *sim.RunResult
+	mcf     []stats.MCFPoint
+}
+
+// DDFsPer1000GroupsAt returns the expected cumulative DDFs per 1,000 RAID
+// groups by time t — the y-axis of the paper's Figs. 6, 7, 9, and 10.
+func (r *Result) DDFsPer1000GroupsAt(t float64) float64 {
+	return stats.MCFAt(r.mcf, t) * 1000
+}
+
+// Curve samples the cumulative DDFs-per-1,000-groups on an even grid.
+func (r *Result) Curve(points int) (times, ddfsPer1000 []float64) {
+	times, vals := stats.CumulativeCurve(r.mcf, r.Mission, points)
+	for i := range vals {
+		vals[i] *= 1000
+	}
+	return times, vals
+}
+
+// ROCOF returns windowed DDF counts per 1,000 groups (the paper's Fig. 8).
+func (r *Result) ROCOF(window float64) ([]stats.ROCOFPoint, error) {
+	points, err := stats.ROCOF(r.mcf, r.Mission, window)
+	if err != nil {
+		return nil, err
+	}
+	for i := range points {
+		points[i].Rate *= 1000
+		points[i].Count *= 1000
+	}
+	return points, nil
+}
+
+// FirstYearDDFsPer1000 returns the cumulative count at 8,760 hours, the
+// quantity tabulated in Table 3.
+func (r *Result) FirstYearDDFsPer1000() float64 {
+	return r.DDFsPer1000GroupsAt(analytic.HoursPerYear)
+}
+
+// CauseBreakdown returns the OpOp and LdOp counts per 1,000 groups over
+// the full mission.
+func (r *Result) CauseBreakdown() (opop, ldop float64) {
+	scale := 1000 / float64(r.Groups)
+	return float64(r.Raw.OpOpDDFs) * scale, float64(r.Raw.LdOpDDFs) * scale
+}
+
+// ConfidenceInterval returns a normal-approximation confidence interval
+// (e.g. level 0.95) for the DDFs-per-1,000-groups estimate at time t,
+// built from the per-group counts.
+func (r *Result) ConfidenceInterval(t float64, level float64) (stats.Interval, error) {
+	counts := make([]float64, len(r.Raw.PerGroup))
+	for i, g := range r.Raw.PerGroup {
+		n := 0
+		for _, d := range g {
+			if d.Time <= t {
+				n++
+			}
+		}
+		counts[i] = float64(n)
+	}
+	ci, err := stats.NormalMeanCI(counts, level)
+	if err != nil {
+		return stats.Interval{}, fmt.Errorf("core: confidence interval: %w", err)
+	}
+	ci.Lo *= 1000
+	ci.Hi *= 1000
+	return ci, nil
+}
+
+// MTTDLComparison contrasts a simulated count with the MTTDL estimate at
+// the same horizon.
+type MTTDLComparison struct {
+	Horizon    float64 // hours
+	Simulated  float64 // DDFs per 1,000 groups from the model
+	MTTDL      float64 // DDFs per 1,000 groups from equation 3
+	Ratio      float64 // Simulated / MTTDL
+	MTTDLYears float64 // the MTTDL itself, in years
+}
+
+// CompareWithMTTDL computes the Table 3 style ratio at the given horizon.
+// The MTTDL input uses the nominal MTBF and MTTR (the characteristic
+// lives), exactly how the paper feeds equation 1 in its equation 3 worked
+// example.
+func (m *Model) CompareWithMTTDL(r *Result, horizon float64) (MTTDLComparison, error) {
+	in := analytic.MTTDLInput{
+		N:    m.params.GroupSize - 1,
+		MTBF: m.params.TTOp.Scale,
+		MTTR: m.params.TTR.Scale,
+	}
+	mttdl, err := analytic.MTTDL(in)
+	if err != nil {
+		return MTTDLComparison{}, err
+	}
+	expected, err := analytic.ExpectedDDFs(in, horizon, 1000)
+	if err != nil {
+		return MTTDLComparison{}, err
+	}
+	simulated := r.DDFsPer1000GroupsAt(horizon)
+	ratio := math.Inf(1)
+	if expected > 0 {
+		ratio = simulated / expected
+	}
+	return MTTDLComparison{
+		Horizon:    horizon,
+		Simulated:  simulated,
+		MTTDL:      expected,
+		Ratio:      ratio,
+		MTTDLYears: analytic.Years(mttdl),
+	}, nil
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/stats"
+)
+
+// reduced returns the base case shrunk for fast tests while preserving the
+// qualitative physics.
+func reduced(p Params) Params {
+	return p
+}
+
+func TestBaseCaseValues(t *testing.T) {
+	p := BaseCase()
+	if p.GroupSize != 8 || p.Redundancy != 1 {
+		t.Errorf("structure = %d drives, redundancy %d", p.GroupSize, p.Redundancy)
+	}
+	if p.MissionHours != 87600 {
+		t.Errorf("mission = %v", p.MissionHours)
+	}
+	if p.TTOp.Scale != 461386 || p.TTOp.Shape != 1.12 || p.TTOp.Location != 0 {
+		t.Errorf("TTOp = %+v", p.TTOp)
+	}
+	if p.TTR.Location != 6 || p.TTR.Scale != 12 || p.TTR.Shape != 2 {
+		t.Errorf("TTR = %+v", p.TTR)
+	}
+	if !p.LatentDefects || p.TTLd.Shape != 1 {
+		t.Errorf("TTLd = %+v enabled=%v", p.TTLd, p.LatentDefects)
+	}
+	// The latent-defect rate must be the Table 1 medium×low cell 1.08e-4.
+	if rate := 1 / p.TTLd.Scale; math.Abs(rate-1.08e-4) > 2e-6 {
+		t.Errorf("TTLd rate = %v, want ~1.08e-4", rate)
+	}
+	if !p.Scrub || p.TTScrub.Scale != 168 || p.TTScrub.Shape != 3 {
+		t.Errorf("TTScrub = %+v enabled=%v", p.TTScrub, p.Scrub)
+	}
+}
+
+func TestParamVariantHelpers(t *testing.T) {
+	p := BaseCase()
+	noLd := p.WithoutLatentDefects()
+	if noLd.LatentDefects || noLd.Scrub {
+		t.Error("WithoutLatentDefects left processes enabled")
+	}
+	if !p.LatentDefects {
+		t.Error("variant helper mutated the receiver")
+	}
+	fast := p.WithScrubPeriod(12)
+	if !fast.Scrub || fast.TTScrub.Scale != 12 {
+		t.Errorf("WithScrubPeriod(12) = %+v", fast.TTScrub)
+	}
+	if fast.TTScrub.Location >= 12 {
+		t.Errorf("scrub location %v not below period", fast.TTScrub.Location)
+	}
+	none := p.WithScrubPeriod(0)
+	if none.Scrub {
+		t.Error("WithScrubPeriod(0) should disable scrubbing")
+	}
+	b := p.WithOpShape(0.8)
+	if b.TTOp.Shape != 0.8 || b.TTOp.Scale != p.TTOp.Scale {
+		t.Errorf("WithOpShape = %+v", b.TTOp)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := BaseCase()
+	bad.TTOp.Shape = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative shape accepted")
+	}
+	bad = BaseCase()
+	bad.GroupSize = 1
+	if _, err := New(bad); err == nil {
+		t.Error("single-drive group accepted")
+	}
+	bad = BaseCase()
+	bad.TTLd.Scale = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero TTLd scale accepted")
+	}
+	bad = BaseCase()
+	bad.TTScrub.Shape = math.NaN()
+	if _, err := New(bad); err == nil {
+		t.Error("NaN scrub shape accepted")
+	}
+}
+
+// The c-c variant without latent defects must track equation 3: ~0.277
+// DDFs per 1,000 groups per 10 years is too rare to verify cheaply, so
+// this test checks the comparison plumbing at paper scale with a modest
+// group count and wide tolerance, plus exact MTTDL values.
+func TestCompareWithMTTDLPlumbing(t *testing.T) {
+	p := BaseCase().WithoutLatentDefects()
+	p.ExponentialOp = true
+	p.ExponentialRestore = true
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(2000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := m.CompareWithMTTDL(r, p.MissionHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MTTDL input uses the nominal MTBF 461,386 h and MTTR 12 h, so
+	// the MTTDL must be the paper's ~36,162 years.
+	if math.Abs(cmp.MTTDLYears-36162) > 100 {
+		t.Errorf("MTTDL = %v years, want ~36,162", cmp.MTTDLYears)
+	}
+	if cmp.MTTDL <= 0 {
+		t.Errorf("expected positive MTTDL count, got %v", cmp.MTTDL)
+	}
+	if cmp.Simulated < 0 {
+		t.Errorf("negative simulated count %v", cmp.Simulated)
+	}
+}
+
+// The paper's headline: the base case without scrubbing yields on the
+// order of 1,000+ DDFs per 1,000 groups in 10 years, versus MTTDL's ~0.3.
+// A reduced-iteration run must already show a ratio of several hundred.
+func TestHeadlineLatentDefectEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-mission base case is slow")
+	}
+	p := BaseCase().WithScrubPeriod(0)
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(400, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenYear := r.DDFsPer1000GroupsAt(p.MissionHours)
+	if tenYear < 700 || tenYear > 2000 {
+		t.Errorf("no-scrub 10-year DDFs/1000 groups = %v, paper reports >1,200", tenYear)
+	}
+	opop, ldop := r.CauseBreakdown()
+	if ldop < 50*math.Max(opop, 1) {
+		t.Errorf("latent-defect DDFs %v should dwarf op-op %v", ldop, opop)
+	}
+}
+
+func TestResultCurveAndROCOF(t *testing.T) {
+	p := BaseCase().WithScrubPeriod(0)
+	p.MissionHours = 30000
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(300, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, vals := r.Curve(25)
+	if len(times) != 25 || len(vals) != 25 {
+		t.Fatalf("curve sizes %d/%d", len(times), len(vals))
+	}
+	if times[0] != 0 || times[24] != 30000 {
+		t.Errorf("grid endpoints %v..%v", times[0], times[24])
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("cumulative curve decreased")
+		}
+	}
+	rocof, err := r.ROCOF(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rocof) != 6 {
+		t.Fatalf("%d ROCOF windows", len(rocof))
+	}
+	var total float64
+	for _, pt := range rocof {
+		total += pt.Count
+	}
+	if math.Abs(total-vals[24]) > 1e-9 {
+		t.Errorf("ROCOF windows sum to %v, curve ends at %v", total, vals[24])
+	}
+	// The no-scrub latent process must show an increasing ROCOF (Fig. 8).
+	if !stats.IsIncreasingTrend(rocof) {
+		t.Error("no-scrub ROCOF is not increasing")
+	}
+}
+
+func TestFirstYearMatchesCurve(t *testing.T) {
+	p := BaseCase()
+	p.MissionHours = 20000
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(500, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.FirstYearDDFsPer1000(), r.DDFsPer1000GroupsAt(8760); got != want {
+		t.Errorf("FirstYear = %v, curve at 8760 = %v", got, want)
+	}
+}
+
+func TestWithMixedVintages(t *testing.T) {
+	vintages := []WeibullSpec{
+		{Scale: 4.5444e5, Shape: 1.0987},
+		{Scale: 7.5012e4, Shape: 1.4873},
+	}
+	p := BaseCase().WithMixedVintages(vintages)
+	if len(p.SlotTTOp) != p.GroupSize {
+		t.Fatalf("%d slot specs", len(p.SlotTTOp))
+	}
+	if p.SlotTTOp[0] != vintages[0] || p.SlotTTOp[1] != vintages[1] || p.SlotTTOp[2] != vintages[0] {
+		t.Error("vintages not cycled across slots")
+	}
+	if _, err := New(p); err != nil {
+		t.Fatalf("mixed-vintage params rejected: %v", err)
+	}
+	// Clearing works.
+	if cleared := p.WithMixedVintages(nil); cleared.SlotTTOp != nil {
+		t.Error("WithMixedVintages(nil) did not clear")
+	}
+}
+
+func TestSlotTTOpValidation(t *testing.T) {
+	p := BaseCase()
+	p.SlotTTOp = []WeibullSpec{{Scale: 1, Shape: 1}} // wrong length
+	if _, err := New(p); err == nil {
+		t.Error("mismatched slot specs accepted")
+	}
+	p = BaseCase()
+	p.SlotTTOp = make([]WeibullSpec, p.GroupSize)
+	p.SlotTTOp[3] = WeibullSpec{Scale: -1, Shape: 1}
+	if _, err := New(p); err == nil {
+		t.Error("invalid slot spec accepted")
+	}
+	// All-zero specs fall back to the shared TTOp.
+	p = BaseCase()
+	p.SlotTTOp = make([]WeibullSpec, p.GroupSize)
+	if _, err := New(p); err != nil {
+		t.Errorf("zero-value slot specs rejected: %v", err)
+	}
+}
+
+// A frail vintage mixed into the group raises fleet risk versus the pure
+// healthy group — the architect's question the paper closes with.
+func TestMixedVintageRaisesRisk(t *testing.T) {
+	base := BaseCase()
+	base.MissionHours = 30000
+	healthy, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := New(base.WithMixedVintages([]WeibullSpec{
+		base.TTOp,
+		{Scale: 7.5012e4, Shape: 1.4873}, // the paper's worst vintage
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := healthy.Run(1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := mixed.Run(1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hr.DDFsPer1000GroupsAt(base.MissionHours)
+	m := mr.DDFsPer1000GroupsAt(base.MissionHours)
+	if m <= h {
+		t.Errorf("mixed-vintage risk %v not above healthy %v", m, h)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	p := BaseCase()
+	p.MissionHours = 20000
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(2000, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := r.DDFsPer1000GroupsAt(20000)
+	ci, err := r.ConfidenceInterval(20000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > point || ci.Hi < point {
+		t.Errorf("CI [%v, %v] excludes the point estimate %v", ci.Lo, ci.Hi, point)
+	}
+	if ci.Hi-ci.Lo <= 0 {
+		t.Error("degenerate CI")
+	}
+	// ~Poisson counts: width should be near 2·1.96·sqrt(point/groups)·1000.
+	if ci.Hi-ci.Lo > point {
+		t.Errorf("CI width %v implausibly wide for %v", ci.Hi-ci.Lo, point)
+	}
+	if _, err := r.ConfidenceInterval(20000, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+}
+
+func TestRunRejectsBadIterations(t *testing.T) {
+	m, err := New(BaseCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"raidrel/internal/rng"
+)
+
+// Mixture models a population in which sub-populations carry different
+// failure distributions — the paper's explanation for the first inflection
+// of HDD #3 in Fig. 1 ("some of the HDDs have a failure mechanism that the
+// others do not"). A drive is drawn from component i with probability
+// weights[i].
+type Mixture struct {
+	components []Distribution
+	weights    []float64 // normalized, same length as components
+	cumWeights []float64
+}
+
+var _ Distribution = Mixture{}
+
+// NewMixture returns a mixture of the given components with the given
+// non-negative weights (normalized internally). At least one component and
+// one positive weight are required.
+func NewMixture(components []Distribution, weights []float64) (Mixture, error) {
+	if len(components) == 0 {
+		return Mixture{}, fmt.Errorf("mixture: no components")
+	}
+	if len(components) != len(weights) {
+		return Mixture{}, fmt.Errorf("mixture: %d components but %d weights", len(components), len(weights))
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return Mixture{}, fmt.Errorf("mixture: weight %d invalid: %v", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return Mixture{}, fmt.Errorf("mixture: weights sum to zero")
+	}
+	m := Mixture{
+		components: make([]Distribution, len(components)),
+		weights:    make([]float64, len(weights)),
+		cumWeights: make([]float64, len(weights)),
+	}
+	copy(m.components, components)
+	cum := 0.0
+	for i, w := range weights {
+		m.weights[i] = w / total
+		cum += w / total
+		m.cumWeights[i] = cum
+	}
+	m.cumWeights[len(m.cumWeights)-1] = 1
+	return m, nil
+}
+
+// MustMixture is NewMixture but panics on invalid parameters.
+func MustMixture(components []Distribution, weights []float64) Mixture {
+	m, err := NewMixture(components, weights)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// PDF returns the weighted density sum.
+func (m Mixture) PDF(t float64) float64 {
+	var f float64
+	for i, c := range m.components {
+		f += m.weights[i] * c.PDF(t)
+	}
+	return f
+}
+
+// CDF returns the weighted CDF sum.
+func (m Mixture) CDF(t float64) float64 {
+	var f float64
+	for i, c := range m.components {
+		f += m.weights[i] * c.CDF(t)
+	}
+	return f
+}
+
+// Quantile inverts the mixture CDF numerically (the CDF is monotone).
+func (m Mixture) Quantile(p float64) float64 { return invertCDF(m, p) }
+
+// Mean returns the weighted mean.
+func (m Mixture) Mean() float64 {
+	var mu float64
+	for i, c := range m.components {
+		mu += m.weights[i] * c.Mean()
+	}
+	return mu
+}
+
+// Variance returns the law-of-total-variance mixture variance.
+func (m Mixture) Variance() float64 {
+	mu := m.Mean()
+	var v float64
+	for i, c := range m.components {
+		d := c.Mean() - mu
+		v += m.weights[i] * (c.Variance() + d*d)
+	}
+	return v
+}
+
+// Sample picks a component by weight, then samples it.
+func (m Mixture) Sample(r *rng.RNG) float64 {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cumWeights, u)
+	if i >= len(m.components) {
+		i = len(m.components) - 1
+	}
+	return m.components[i].Sample(r)
+}
+
+// CompetingRisks models a unit subject to several independent failure
+// mechanisms at once; the observed lifetime is the minimum. This produces
+// the late-life upturn of HDD #3 in Fig. 1: survival is the product of the
+// mechanisms' survivals, so hazards add.
+type CompetingRisks struct {
+	risks []Distribution
+}
+
+var _ Distribution = CompetingRisks{}
+
+// NewCompetingRisks returns the distribution of min(T_1, ..., T_k) for
+// independent lifetimes T_i with the given distributions.
+func NewCompetingRisks(risks []Distribution) (CompetingRisks, error) {
+	if len(risks) == 0 {
+		return CompetingRisks{}, fmt.Errorf("competing risks: no mechanisms")
+	}
+	c := CompetingRisks{risks: make([]Distribution, len(risks))}
+	copy(c.risks, risks)
+	return c, nil
+}
+
+// MustCompetingRisks is NewCompetingRisks but panics on invalid parameters.
+func MustCompetingRisks(risks []Distribution) CompetingRisks {
+	c, err := NewCompetingRisks(risks)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CDF returns 1 - Π(1 - F_i(t)).
+func (c CompetingRisks) CDF(t float64) float64 {
+	s := 1.0
+	for _, r := range c.risks {
+		s *= Survival(r, t)
+	}
+	return 1 - s
+}
+
+// PDF returns the density S(t) Σ h_i(t) via the product rule.
+func (c CompetingRisks) PDF(t float64) float64 {
+	var total float64
+	for i := range c.risks {
+		f := c.risks[i].PDF(t)
+		for j := range c.risks {
+			if j != i {
+				f *= Survival(c.risks[j], t)
+			}
+		}
+		total += f
+	}
+	return total
+}
+
+// Quantile inverts the CDF numerically.
+func (c CompetingRisks) Quantile(p float64) float64 { return invertCDF(c, p) }
+
+// Mean integrates the survival function numerically: E[T] = ∫S(t)dt.
+func (c CompetingRisks) Mean() float64 {
+	return survivalMean(c)
+}
+
+// Variance integrates 2∫t S(t)dt - mean².
+func (c CompetingRisks) Variance() float64 {
+	return survivalVariance(c)
+}
+
+// Sample draws every mechanism and returns the minimum.
+func (c CompetingRisks) Sample(r *rng.RNG) float64 {
+	min := c.risks[0].Sample(r)
+	for _, d := range c.risks[1:] {
+		if v := d.Sample(r); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Hazard returns the summed mechanism hazards.
+func (c CompetingRisks) Hazard(t float64) float64 {
+	var h float64
+	for _, r := range c.risks {
+		h += Hazard(r, t)
+	}
+	return h
+}
+
+var _ Hazarder = CompetingRisks{}
+
+// invertCDF inverts a monotone CDF by doubling bracket + bisection.
+func invertCDF(d Distribution, p float64) float64 {
+	if p <= 0 {
+		// Largest t with CDF(t) == 0 is distribution-specific; 0 is a safe
+		// lower bound for lifetime distributions.
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, 1.0
+	for d.CDF(hi) < p {
+		lo = hi
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return hi
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// survivalMean computes E[T] = ∫₀^∞ S(t) dt by adaptive trapezoid out to the
+// 1-1e-9 quantile.
+func survivalMean(d Distribution) float64 {
+	upper := d.Quantile(1 - 1e-9)
+	if math.IsInf(upper, 1) || upper <= 0 {
+		return math.NaN()
+	}
+	const n = 20000
+	h := upper / n
+	sum := 0.5 * (Survival(d, 0) + Survival(d, upper))
+	for i := 1; i < n; i++ {
+		sum += Survival(d, float64(i)*h)
+	}
+	return sum * h
+}
+
+// survivalVariance computes Var[T] = 2∫ t S(t) dt - E[T]².
+func survivalVariance(d Distribution) float64 {
+	upper := d.Quantile(1 - 1e-9)
+	if math.IsInf(upper, 1) || upper <= 0 {
+		return math.NaN()
+	}
+	const n = 20000
+	h := upper / n
+	sum := 0.5 * upper * Survival(d, upper)
+	for i := 1; i < n; i++ {
+		t := float64(i) * h
+		sum += t * Survival(d, t)
+	}
+	m := survivalMean(d)
+	return 2*sum*h - m*m
+}

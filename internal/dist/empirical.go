@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"raidrel/internal/rng"
+)
+
+// Empirical is the empirical distribution of an observed sample, with linear
+// interpolation between order statistics. It lets the simulator run directly
+// on (synthetic or real) field times-to-failure without committing to a
+// parametric family.
+type Empirical struct {
+	sorted []float64
+}
+
+var _ Distribution = Empirical{}
+
+// NewEmpirical returns the empirical distribution of the given sample of
+// non-negative observations. The sample is copied and sorted.
+func NewEmpirical(sample []float64) (Empirical, error) {
+	if len(sample) < 2 {
+		return Empirical{}, fmt.Errorf("empirical: need at least 2 observations, got %d", len(sample))
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	for _, v := range s {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Empirical{}, fmt.Errorf("empirical: invalid observation %v", v)
+		}
+	}
+	sort.Float64s(s)
+	return Empirical{sorted: s}, nil
+}
+
+// MustEmpirical is NewEmpirical but panics on invalid input.
+func MustEmpirical(sample []float64) Empirical {
+	e, err := NewEmpirical(sample)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Len returns the sample size.
+func (e Empirical) Len() int { return len(e.sorted) }
+
+// PDF returns a histogram-free density estimate: the reciprocal of n times
+// the local spacing of order statistics. It is rough; empirical
+// distributions are primarily used through CDF/Quantile/Sample.
+func (e Empirical) PDF(t float64) float64 {
+	n := len(e.sorted)
+	i := sort.SearchFloat64s(e.sorted, t)
+	if i == 0 || i >= n {
+		return 0
+	}
+	gap := e.sorted[i] - e.sorted[i-1]
+	if gap <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (float64(n) * gap)
+}
+
+// CDF returns the fraction of observations <= t with linear interpolation.
+func (e Empirical) CDF(t float64) float64 {
+	n := len(e.sorted)
+	if t < e.sorted[0] {
+		return 0
+	}
+	if t >= e.sorted[n-1] {
+		return 1
+	}
+	i := sort.SearchFloat64s(e.sorted, t) // first index with sorted[i] >= t
+	if e.sorted[i] == t {
+		// Step up through ties.
+		j := i
+		for j < n && e.sorted[j] == t {
+			j++
+		}
+		return float64(j) / float64(n)
+	}
+	// Interpolate between the order-statistic anchors (x_i, i/n), with x_i
+	// the i-th smallest observation (1-indexed).
+	lo, hi := e.sorted[i-1], e.sorted[i]
+	frac := (t - lo) / (hi - lo)
+	return (float64(i) + frac) / float64(n)
+}
+
+// Quantile returns the interpolated order statistic at probability p.
+func (e Empirical) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return e.sorted[n-1]
+	}
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}
+
+// Mean returns the sample mean.
+func (e Empirical) Mean() float64 {
+	var sum float64
+	for _, v := range e.sorted {
+		sum += v
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// Variance returns the population variance of the sample.
+func (e Empirical) Variance() float64 {
+	m := e.Mean()
+	var sum float64
+	for _, v := range e.sorted {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// Sample draws uniformly among the interpolated quantiles (a smoothed
+// bootstrap draw).
+func (e Empirical) Sample(r *rng.RNG) float64 {
+	return e.Quantile(r.Float64())
+}
+
+// String implements fmt.Stringer.
+func (e Empirical) String() string {
+	return fmt.Sprintf("Empirical(n=%d)", len(e.sorted))
+}

@@ -1,0 +1,58 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+// ExampleWeibull shows the paper's base-case TTOp distribution.
+func ExampleWeibull() {
+	ttop, err := dist.NewWeibull(1.12, 461386, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(ttop)
+	fmt.Printf("mean life: %.0f h\n", ttop.Mean())
+	fmt.Printf("P(failure within 5 years): %.4f\n", ttop.CDF(5*8760))
+	fmt.Printf("hazard ratio year 5 vs year 1: %.2f\n", ttop.Hazard(5*8760)/ttop.Hazard(8760))
+	// Output:
+	// Weibull(γ=0, η=461386, β=1.12)
+	// mean life: 442626 h
+	// P(failure within 5 years): 0.0691
+	// hazard ratio year 5 vs year 1: 1.21
+}
+
+// ExampleWeibull_Sample draws restoration times with a 6-hour floor.
+func ExampleWeibull_Sample() {
+	ttr := dist.MustWeibull(2, 12, 6)
+	r := rng.New(1)
+	min := 1e18
+	for i := 0; i < 10000; i++ {
+		if v := ttr.Sample(r); v < min {
+			min = v
+		}
+	}
+	fmt.Println("every restoration exceeds the 6-hour floor:", min >= 6)
+	// Output:
+	// every restoration exceeds the 6-hour floor: true
+}
+
+// ExampleCompetingRisks builds a bathtub lifetime: infant mortality
+// competing with wear-out.
+func ExampleCompetingRisks() {
+	bathtub := dist.MustCompetingRisks([]dist.Distribution{
+		dist.MustWeibull(0.6, 3e6, 0), // infant mortality, burning off
+		dist.MustWeibull(3.0, 2e5, 0), // wear-out
+	})
+	early := dist.Hazard(bathtub, 100)
+	mid := dist.Hazard(bathtub, 30000)
+	late := dist.Hazard(bathtub, 150000)
+	fmt.Println("hazard falls early:", mid < early)
+	fmt.Println("hazard rises late:", late > mid)
+	// Output:
+	// hazard falls early: true
+	// hazard rises late: true
+}

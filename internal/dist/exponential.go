@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/rng"
+)
+
+// Exponential is the constant-hazard distribution the MTTDL method assumes
+// for both failures and repairs. Rate λ is the reciprocal of the mean.
+type Exponential struct {
+	rate float64
+}
+
+var _ Distribution = Exponential{}
+var _ Hazarder = Exponential{}
+
+// NewExponential returns an exponential distribution with rate λ > 0 per
+// hour.
+func NewExponential(rate float64) (Exponential, error) {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return Exponential{}, fmt.Errorf("exponential: rate must be positive and finite, got %v", rate)
+	}
+	return Exponential{rate: rate}, nil
+}
+
+// MustExponential is NewExponential but panics on invalid parameters.
+func MustExponential(rate float64) Exponential {
+	e, err := NewExponential(rate)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ExponentialFromMean returns an exponential distribution with the given
+// mean (MTTF or MTTR), i.e. rate 1/mean.
+func ExponentialFromMean(mean float64) (Exponential, error) {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return Exponential{}, fmt.Errorf("exponential: mean must be positive and finite, got %v", mean)
+	}
+	return Exponential{rate: 1 / mean}, nil
+}
+
+// Rate returns λ.
+func (e Exponential) Rate() float64 { return e.rate }
+
+// PDF returns λ exp(-λt) for t >= 0.
+func (e Exponential) PDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return e.rate * math.Exp(-e.rate*t)
+}
+
+// CDF returns 1 - exp(-λt).
+func (e Exponential) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.rate * t)
+}
+
+// Quantile returns -ln(1-p)/λ.
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.rate
+}
+
+// Hazard returns the constant rate λ.
+func (e Exponential) Hazard(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return e.rate
+}
+
+// Mean returns 1/λ.
+func (e Exponential) Mean() float64 { return 1 / e.rate }
+
+// Variance returns 1/λ².
+func (e Exponential) Variance() float64 { return 1 / (e.rate * e.rate) }
+
+// Sample draws an exponential variate by inversion.
+func (e Exponential) Sample(r *rng.RNG) float64 {
+	return r.ExpFloat64() / e.rate
+}
+
+// String implements fmt.Stringer.
+func (e Exponential) String() string {
+	return fmt.Sprintf("Exponential(λ=%g)", e.rate)
+}

@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/rng"
+)
+
+// Normal is the Gaussian distribution. As a lifetime model it must be
+// truncated at zero (see Truncated); it exists mainly to test the paper's
+// §6.4 claim that a β = 3 Weibull "produces a Normal shaped distribution"
+// for scrub completion times.
+type Normal struct {
+	mean, sd float64
+}
+
+var _ Distribution = Normal{}
+
+// NewNormal returns a normal distribution with the given mean and
+// standard deviation sd > 0.
+func NewNormal(mean, sd float64) (Normal, error) {
+	if !(sd > 0) || math.IsInf(sd, 0) || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return Normal{}, fmt.Errorf("normal: invalid parameters mean=%v sd=%v", mean, sd)
+	}
+	return Normal{mean: mean, sd: sd}, nil
+}
+
+// MustNormal is NewNormal but panics on invalid parameters.
+func MustNormal(mean, sd float64) Normal {
+	n, err := NewNormal(mean, sd)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Mean returns μ.
+func (n Normal) Mean() float64 { return n.mean }
+
+// Variance returns σ².
+func (n Normal) Variance() float64 { return n.sd * n.sd }
+
+// PDF returns the density at t.
+func (n Normal) PDF(t float64) float64 {
+	z := (t - n.mean) / n.sd
+	return math.Exp(-z*z/2) / (n.sd * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns Φ((t-μ)/σ).
+func (n Normal) CDF(t float64) float64 {
+	return stdNormalCDF((t - n.mean) / n.sd)
+}
+
+// Quantile returns μ + σΦ⁻¹(p).
+func (n Normal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return n.mean + n.sd*stdNormalQuantile(p)
+}
+
+// Sample draws μ + σZ.
+func (n Normal) Sample(r *rng.RNG) float64 {
+	return n.mean + n.sd*r.NormFloat64()
+}
+
+// String implements fmt.Stringer.
+func (n Normal) String() string { return fmt.Sprintf("Normal(μ=%g, σ=%g)", n.mean, n.sd) }
+
+// Truncated restricts a distribution to [lo, hi] by conditioning: samples
+// and probabilities are renormalized to the retained mass. It turns a
+// Normal into a valid lifetime distribution (lo = 0) and models hard
+// operational floors/caps like the paper's minimum and maximum
+// reconstruction times (§6.2).
+type Truncated struct {
+	base   Distribution
+	lo, hi float64
+	pLo    float64 // base CDF at lo
+	mass   float64 // base probability of [lo, hi]
+}
+
+var _ Distribution = Truncated{}
+
+// NewTruncated returns base conditioned on [lo, hi]. The interval must
+// retain positive probability.
+func NewTruncated(base Distribution, lo, hi float64) (Truncated, error) {
+	if base == nil {
+		return Truncated{}, fmt.Errorf("truncated: nil base")
+	}
+	if !(lo < hi) {
+		return Truncated{}, fmt.Errorf("truncated: need lo < hi, got [%v, %v]", lo, hi)
+	}
+	pLo := base.CDF(lo)
+	mass := base.CDF(hi) - pLo
+	if !(mass > 0) {
+		return Truncated{}, fmt.Errorf("truncated: [%v, %v] has no probability mass", lo, hi)
+	}
+	return Truncated{base: base, lo: lo, hi: hi, pLo: pLo, mass: mass}, nil
+}
+
+// MustTruncated is NewTruncated but panics on invalid parameters.
+func MustTruncated(base Distribution, lo, hi float64) Truncated {
+	t, err := NewTruncated(base, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PDF returns the renormalized density inside the window.
+func (t Truncated) PDF(x float64) float64 {
+	if x < t.lo || x > t.hi {
+		return 0
+	}
+	return t.base.PDF(x) / t.mass
+}
+
+// CDF returns the conditioned CDF.
+func (t Truncated) CDF(x float64) float64 {
+	switch {
+	case x <= t.lo:
+		return 0
+	case x >= t.hi:
+		return 1
+	default:
+		return (t.base.CDF(x) - t.pLo) / t.mass
+	}
+}
+
+// Quantile inverts by mapping p into the base quantile scale.
+func (t Truncated) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return t.lo
+	case p >= 1:
+		return t.hi
+	default:
+		q := t.base.Quantile(t.pLo + p*t.mass)
+		// Clamp against base-quantile numerical drift.
+		return math.Min(math.Max(q, t.lo), t.hi)
+	}
+}
+
+// Mean integrates the survival function over the window.
+func (t Truncated) Mean() float64 {
+	// E[T] = lo + ∫_{lo}^{hi} S(x) dx for the truncated variable.
+	const n = 20000
+	h := (t.hi - t.lo) / n
+	sum := 0.5 * (Survival(t, t.lo) + Survival(t, t.hi))
+	for i := 1; i < n; i++ {
+		sum += Survival(t, t.lo+float64(i)*h)
+	}
+	return t.lo + sum*h
+}
+
+// Variance integrates numerically.
+func (t Truncated) Variance() float64 {
+	m := t.Mean()
+	const n = 20000
+	h := (t.hi - t.lo) / n
+	var sum float64
+	for i := 0; i <= n; i++ {
+		x := t.lo + float64(i)*h
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		d := x - m
+		sum += w * d * d * t.PDF(x)
+	}
+	return sum * h
+}
+
+// Sample draws by inversion within the retained mass.
+func (t Truncated) Sample(r *rng.RNG) float64 {
+	return t.Quantile(r.Float64Open())
+}
+
+// String implements fmt.Stringer.
+func (t Truncated) String() string {
+	return fmt.Sprintf("Truncated(%v on [%g, %g])", t.base, t.lo, t.hi)
+}

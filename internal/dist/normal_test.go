@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/rng"
+)
+
+func TestNormalBasics(t *testing.T) {
+	n := MustNormal(10, 2)
+	if n.Mean() != 10 || n.Variance() != 4 {
+		t.Error("moments wrong")
+	}
+	if !almostEqual(n.CDF(10), 0.5, 1e-12) {
+		t.Errorf("CDF(mean) = %v", n.CDF(10))
+	}
+	// 68-95-99.7.
+	if got := n.CDF(12) - n.CDF(8); math.Abs(got-0.6827) > 0.001 {
+		t.Errorf("one-sigma mass = %v", got)
+	}
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.999} {
+		if !almostEqual(n.CDF(n.Quantile(p)), p, 1e-9) {
+			t.Errorf("quantile roundtrip at %v", p)
+		}
+	}
+	if _, err := NewNormal(0, 0); err == nil {
+		t.Error("zero sd accepted")
+	}
+	if _, err := NewNormal(math.NaN(), 1); err == nil {
+		t.Error("NaN mean accepted")
+	}
+}
+
+func TestNormalSampleMoments(t *testing.T) {
+	n := MustNormal(5, 3)
+	r := rng.New(81)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := n.Sample(r)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean-5) > 0.03 || math.Abs(variance-9) > 0.1 {
+		t.Errorf("sample moments %v/%v", mean, variance)
+	}
+}
+
+func TestTruncatedValidation(t *testing.T) {
+	n := MustNormal(0, 1)
+	if _, err := NewTruncated(nil, 0, 1); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewTruncated(n, 2, 2); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := NewTruncated(n, 50, 60); err == nil {
+		t.Error("zero-mass window accepted")
+	}
+}
+
+func TestTruncatedNormalIsLifetime(t *testing.T) {
+	// A scrub-time model: normal(168, 50) truncated to [6, 400].
+	tr := MustTruncated(MustNormal(168, 50), 6, 400)
+	r := rng.New(82)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := tr.Sample(r)
+		if v < 6 || v > 400 {
+			t.Fatalf("sample %v outside window", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum/draws-tr.Mean()) > 0.02*tr.Mean() {
+		t.Errorf("sample mean %v vs analytic %v", sum/draws, tr.Mean())
+	}
+	if tr.CDF(5) != 0 || tr.CDF(401) != 1 {
+		t.Error("CDF edges wrong")
+	}
+	for _, p := range []float64{0.05, 0.5, 0.95} {
+		if !almostEqual(tr.CDF(tr.Quantile(p)), p, 1e-6) {
+			t.Errorf("roundtrip at %v", p)
+		}
+	}
+	// Density renormalizes: integrate PDF over window ~ 1.
+	const n = 50000
+	h := (400.0 - 6.0) / n
+	area := 0.5 * (tr.PDF(6) + tr.PDF(400))
+	for i := 1; i < n; i++ {
+		area += tr.PDF(6 + float64(i)*h)
+	}
+	if !almostEqual(area*h, 1, 1e-4) {
+		t.Errorf("PDF area = %v", area*h)
+	}
+}
+
+// The paper's §6.4 claim: a β = 3 Weibull looks Normal. Quantify with the
+// KS distance between a Weibull(3, η) and the moment-matched normal: it
+// should be small (a few percent).
+func TestWeibullShape3IsNearNormal(t *testing.T) {
+	w := MustWeibull(3, 168, 6)
+	n := MustNormal(w.Mean(), math.Sqrt(w.Variance()))
+	var maxGap float64
+	for x := 6.0; x < 400; x += 0.5 {
+		if gap := math.Abs(w.CDF(x) - n.CDF(x)); gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap > 0.02 {
+		t.Errorf("Weibull(β=3) vs normal KS distance %v; the paper's claim needs < 0.02", maxGap)
+	}
+	// Contrast: β = 1 is nowhere near normal.
+	e := MustWeibull(1, 168, 0)
+	ne := MustNormal(e.Mean(), math.Sqrt(e.Variance()))
+	var expGap float64
+	for x := 0.0; x < 1000; x += 1 {
+		if gap := math.Abs(e.CDF(x) - ne.CDF(x)); gap > expGap {
+			expGap = gap
+		}
+	}
+	if expGap < 0.05 {
+		t.Errorf("β = 1 should not be normal-like (gap %v)", expGap)
+	}
+}
+
+func TestTruncatedVarianceFinite(t *testing.T) {
+	tr := MustTruncated(MustNormal(100, 30), 0, 200)
+	v := tr.Variance()
+	if !(v > 0) || v > 30*30 {
+		t.Errorf("truncated variance %v should be positive and below the base variance", v)
+	}
+}

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/rng"
+)
+
+// Uniform is the continuous uniform distribution on [lo, hi].
+type Uniform struct {
+	lo, hi float64
+}
+
+var _ Distribution = Uniform{}
+
+// NewUniform returns a uniform distribution on [lo, hi], lo < hi.
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if !(lo < hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return Uniform{}, fmt.Errorf("uniform: require finite lo < hi, got [%v, %v]", lo, hi)
+	}
+	return Uniform{lo: lo, hi: hi}, nil
+}
+
+// MustUniform is NewUniform but panics on invalid parameters.
+func MustUniform(lo, hi float64) Uniform {
+	u, err := NewUniform(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// PDF returns 1/(hi-lo) inside the support.
+func (u Uniform) PDF(t float64) float64 {
+	if t < u.lo || t > u.hi {
+		return 0
+	}
+	return 1 / (u.hi - u.lo)
+}
+
+// CDF returns the linear ramp on [lo, hi].
+func (u Uniform) CDF(t float64) float64 {
+	switch {
+	case t <= u.lo:
+		return 0
+	case t >= u.hi:
+		return 1
+	default:
+		return (t - u.lo) / (u.hi - u.lo)
+	}
+}
+
+// Quantile returns lo + p(hi-lo).
+func (u Uniform) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return u.lo
+	case p >= 1:
+		return u.hi
+	default:
+		return u.lo + p*(u.hi-u.lo)
+	}
+}
+
+// Mean returns (lo+hi)/2.
+func (u Uniform) Mean() float64 { return (u.lo + u.hi) / 2 }
+
+// Variance returns (hi-lo)²/12.
+func (u Uniform) Variance() float64 {
+	w := u.hi - u.lo
+	return w * w / 12
+}
+
+// Sample draws a uniform variate.
+func (u Uniform) Sample(r *rng.RNG) float64 {
+	return u.lo + r.Float64()*(u.hi-u.lo)
+}
+
+// String implements fmt.Stringer.
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g, %g]", u.lo, u.hi) }
+
+// Deterministic is a point mass at a fixed value. Used for fixed repair
+// delays and for testing event orderings exactly.
+type Deterministic struct {
+	value float64
+}
+
+var _ Distribution = Deterministic{}
+
+// NewDeterministic returns a point mass at v >= 0.
+func NewDeterministic(v float64) (Deterministic, error) {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return Deterministic{}, fmt.Errorf("deterministic: value must be finite and non-negative, got %v", v)
+	}
+	return Deterministic{value: v}, nil
+}
+
+// MustDeterministic is NewDeterministic but panics on invalid parameters.
+func MustDeterministic(v float64) Deterministic {
+	d, err := NewDeterministic(v)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Value returns the point-mass location.
+func (d Deterministic) Value() float64 { return d.value }
+
+// PDF returns 0 everywhere (the point mass has no density).
+func (d Deterministic) PDF(t float64) float64 { return 0 }
+
+// CDF is the step function at the value.
+func (d Deterministic) CDF(t float64) float64 {
+	if t < d.value {
+		return 0
+	}
+	return 1
+}
+
+// Quantile returns the value for every p.
+func (d Deterministic) Quantile(p float64) float64 { return d.value }
+
+// Mean returns the value.
+func (d Deterministic) Mean() float64 { return d.value }
+
+// Variance returns 0.
+func (d Deterministic) Variance() float64 { return 0 }
+
+// Sample returns the value.
+func (d Deterministic) Sample(r *rng.RNG) float64 { return d.value }
+
+// String implements fmt.Stringer.
+func (d Deterministic) String() string { return fmt.Sprintf("Deterministic(%g)", d.value) }

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/rng"
+)
+
+// Weibull is the three-parameter Weibull distribution used throughout the
+// paper (§6):
+//
+//	f(t) = (β/η) ((t-γ)/η)^(β-1) exp(-((t-γ)/η)^β),  t >= γ
+//
+// Shape β < 1 gives a decreasing hazard (infant mortality), β = 1 reduces to
+// a shifted exponential (constant hazard), and β > 1 gives wear-out. The
+// location γ models hard minimum durations, e.g. the minimum time to rebuild
+// a replaced drive (§6.2) or to complete a full-disk scrub pass (§6.4).
+type Weibull struct {
+	shape float64 // β
+	scale float64 // η (characteristic life)
+	loc   float64 // γ (location / minimum time)
+}
+
+var _ Distribution = Weibull{}
+var _ Hazarder = Weibull{}
+
+// NewWeibull returns a three-parameter Weibull with shape β > 0, scale
+// η > 0, and location γ >= 0.
+func NewWeibull(shape, scale, loc float64) (Weibull, error) {
+	if !(shape > 0) || math.IsInf(shape, 0) {
+		return Weibull{}, fmt.Errorf("weibull: shape must be positive and finite, got %v", shape)
+	}
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return Weibull{}, fmt.Errorf("weibull: scale must be positive and finite, got %v", scale)
+	}
+	if loc < 0 || math.IsNaN(loc) || math.IsInf(loc, 0) {
+		return Weibull{}, fmt.Errorf("weibull: location must be finite and non-negative, got %v", loc)
+	}
+	return Weibull{shape: shape, scale: scale, loc: loc}, nil
+}
+
+// MustWeibull is NewWeibull but panics on invalid parameters. Intended for
+// package-level defaults and tests with literal constants.
+func MustWeibull(shape, scale, loc float64) Weibull {
+	w, err := NewWeibull(shape, scale, loc)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Shape returns β.
+func (w Weibull) Shape() float64 { return w.shape }
+
+// Scale returns η, the characteristic life (the 63.2nd percentile measured
+// from the location).
+func (w Weibull) Scale() float64 { return w.scale }
+
+// Location returns γ, the minimum possible value.
+func (w Weibull) Location() float64 { return w.loc }
+
+// PDF returns the density at t.
+func (w Weibull) PDF(t float64) float64 {
+	if t < w.loc {
+		return 0
+	}
+	z := (t - w.loc) / w.scale
+	if z == 0 {
+		switch {
+		case w.shape < 1:
+			return math.Inf(1)
+		case w.shape == 1:
+			return 1 / w.scale
+		default:
+			return 0
+		}
+	}
+	return (w.shape / w.scale) * math.Pow(z, w.shape-1) * math.Exp(-math.Pow(z, w.shape))
+}
+
+// CDF returns P(T <= t) = 1 - exp(-((t-γ)/η)^β).
+func (w Weibull) CDF(t float64) float64 {
+	if t <= w.loc {
+		return 0
+	}
+	z := (t - w.loc) / w.scale
+	// -expm1(-z^β) is accurate for both tiny and large z^β.
+	return -math.Expm1(-math.Pow(z, w.shape))
+}
+
+// Quantile returns γ + η (-ln(1-p))^(1/β). This is the inverse-CDF transform
+// the sampler uses.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return w.loc
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// -log1p(-p) = -ln(1-p), accurate for small p.
+	return w.loc + w.scale*math.Pow(-math.Log1p(-p), 1/w.shape)
+}
+
+// Hazard returns the instantaneous failure rate (β/η)((t-γ)/η)^(β-1).
+func (w Weibull) Hazard(t float64) float64 {
+	if t < w.loc {
+		return 0
+	}
+	z := (t - w.loc) / w.scale
+	if z == 0 {
+		switch {
+		case w.shape < 1:
+			return math.Inf(1)
+		case w.shape == 1:
+			return 1 / w.scale
+		default:
+			return 0
+		}
+	}
+	return (w.shape / w.scale) * math.Pow(z, w.shape-1)
+}
+
+// CumHazard returns the cumulative hazard H(t) = ((t-γ)/η)^β.
+func (w Weibull) CumHazard(t float64) float64 {
+	if t <= w.loc {
+		return 0
+	}
+	return math.Pow((t-w.loc)/w.scale, w.shape)
+}
+
+// Mean returns γ + η Γ(1 + 1/β).
+func (w Weibull) Mean() float64 {
+	return w.loc + w.scale*math.Gamma(1+1/w.shape)
+}
+
+// Variance returns η² [Γ(1+2/β) - Γ(1+1/β)²].
+func (w Weibull) Variance() float64 {
+	g1 := math.Gamma(1 + 1/w.shape)
+	g2 := math.Gamma(1 + 2/w.shape)
+	return w.scale * w.scale * (g2 - g1*g1)
+}
+
+// Sample draws a Weibull variate by inversion: γ + η (-ln U)^(1/β) with
+// U uniform on (0, 1). (-ln U has the same law as -ln(1-U).)
+func (w Weibull) Sample(r *rng.RNG) float64 {
+	return w.loc + w.scale*math.Pow(r.ExpFloat64(), 1/w.shape)
+}
+
+// String implements fmt.Stringer with the paper's (γ, η, β) notation.
+func (w Weibull) String() string {
+	return fmt.Sprintf("Weibull(γ=%g, η=%g, β=%g)", w.loc, w.scale, w.shape)
+}

@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raidrel/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewWeibullValidation(t *testing.T) {
+	cases := []struct {
+		name              string
+		shape, scale, loc float64
+		wantErr           bool
+	}{
+		{"valid base case", 1.12, 461386, 0, false},
+		{"valid with location", 2, 12, 6, false},
+		{"zero shape", 0, 1, 0, true},
+		{"negative shape", -1, 1, 0, true},
+		{"zero scale", 1, 0, 0, true},
+		{"negative location", 1, 1, -1, true},
+		{"NaN shape", math.NaN(), 1, 0, true},
+		{"Inf scale", 1, math.Inf(1), 0, true},
+		{"NaN location", 1, 1, math.NaN(), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewWeibull(tc.shape, tc.scale, tc.loc)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewWeibull(%v, %v, %v) error = %v, wantErr %v",
+					tc.shape, tc.scale, tc.loc, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWeibullReducesToExponential(t *testing.T) {
+	// β = 1 Weibull with scale η must equal Exponential(1/η) exactly.
+	w := MustWeibull(1, 1000, 0)
+	e := MustExponential(1.0 / 1000)
+	for _, tt := range []float64{0, 1, 10, 500, 1000, 5000, 1e5} {
+		if !almostEqual(w.CDF(tt), e.CDF(tt), 1e-12) {
+			t.Errorf("CDF(%v): weibull %v != exp %v", tt, w.CDF(tt), e.CDF(tt))
+		}
+		if !almostEqual(w.PDF(tt), e.PDF(tt), 1e-12) {
+			t.Errorf("PDF(%v): weibull %v != exp %v", tt, w.PDF(tt), e.PDF(tt))
+		}
+		if !almostEqual(w.Hazard(tt), e.Hazard(tt), 1e-12) {
+			t.Errorf("Hazard(%v): weibull %v != exp %v", tt, w.Hazard(tt), e.Hazard(tt))
+		}
+	}
+	if !almostEqual(w.Mean(), 1000, 1e-12) {
+		t.Errorf("Mean = %v, want 1000", w.Mean())
+	}
+}
+
+func TestWeibullCharacteristicLife(t *testing.T) {
+	// CDF at γ + η must be 1 - 1/e for every shape.
+	for _, beta := range []float64{0.5, 0.8, 1, 1.12, 2, 3.7} {
+		w := MustWeibull(beta, 461386, 100)
+		got := w.CDF(100 + 461386)
+		want := 1 - math.Exp(-1)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("β=%v: CDF(γ+η) = %v, want %v", beta, got, want)
+		}
+	}
+}
+
+func TestWeibullQuantileInvertsCDF(t *testing.T) {
+	dists := []Weibull{
+		MustWeibull(1.12, 461386, 0),
+		MustWeibull(2, 12, 6),
+		MustWeibull(3, 168, 6),
+		MustWeibull(0.9, 5e5, 0),
+	}
+	for _, w := range dists {
+		for _, p := range []float64{1e-9, 1e-4, 0.01, 0.5, 0.632, 0.99, 1 - 1e-9} {
+			q := w.Quantile(p)
+			back := w.CDF(q)
+			if !almostEqual(back, p, 1e-9) {
+				t.Errorf("%v: CDF(Quantile(%v)) = %v", w, p, back)
+			}
+		}
+	}
+}
+
+func TestWeibullQuantileEdges(t *testing.T) {
+	w := MustWeibull(2, 12, 6)
+	if got := w.Quantile(0); got != 6 {
+		t.Errorf("Quantile(0) = %v, want location 6", got)
+	}
+	if got := w.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(1) = %v, want +Inf", got)
+	}
+}
+
+func TestWeibullLocationShiftsSupport(t *testing.T) {
+	w := MustWeibull(2, 12, 6)
+	if w.CDF(5.999) != 0 {
+		t.Errorf("CDF below location = %v, want 0", w.CDF(5.999))
+	}
+	if w.PDF(3) != 0 {
+		t.Errorf("PDF below location = %v, want 0", w.PDF(3))
+	}
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		if v := w.Sample(r); v < 6 {
+			t.Fatalf("sample %v below location 6", v)
+		}
+	}
+}
+
+func TestWeibullSampleMoments(t *testing.T) {
+	cases := []Weibull{
+		MustWeibull(1.12, 461386, 0),
+		MustWeibull(2, 12, 6),
+		MustWeibull(3, 168, 6),
+		MustWeibull(0.8, 1000, 0),
+	}
+	r := rng.New(99)
+	const n = 400000
+	for _, w := range cases {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := w.Sample(r)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if !almostEqual(mean, w.Mean(), 0.01) {
+			t.Errorf("%v: sample mean %v vs analytic %v", w, mean, w.Mean())
+		}
+		if !almostEqual(variance, w.Variance(), 0.05) {
+			t.Errorf("%v: sample variance %v vs analytic %v", w, variance, w.Variance())
+		}
+	}
+}
+
+func TestWeibullHazardMonotonicity(t *testing.T) {
+	ts := []float64{10, 100, 1000, 10000, 100000}
+	increasing := MustWeibull(1.4, 1e5, 0)
+	decreasing := MustWeibull(0.8, 1e5, 0)
+	for i := 1; i < len(ts); i++ {
+		if increasing.Hazard(ts[i]) <= increasing.Hazard(ts[i-1]) {
+			t.Errorf("β=1.4 hazard not increasing at %v", ts[i])
+		}
+		if decreasing.Hazard(ts[i]) >= decreasing.Hazard(ts[i-1]) {
+			t.Errorf("β=0.8 hazard not decreasing at %v", ts[i])
+		}
+	}
+}
+
+func TestWeibullCumHazardConsistency(t *testing.T) {
+	// S(t) = exp(-H(t)) must match 1 - CDF(t).
+	w := MustWeibull(1.12, 461386, 0)
+	for _, tt := range []float64{100, 8760, 87600, 461386} {
+		if !almostEqual(math.Exp(-w.CumHazard(tt)), Survival(w, tt), 1e-12) {
+			t.Errorf("t=%v: exp(-H) = %v, S = %v", tt, math.Exp(-w.CumHazard(tt)), Survival(w, tt))
+		}
+	}
+}
+
+func TestWeibullQuickProperties(t *testing.T) {
+	w := MustWeibull(1.12, 461386, 0)
+	cdfMonotone := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return w.CDF(a) <= w.CDF(b)
+	}
+	if err := quick.Check(cdfMonotone, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("CDF not monotone: %v", err)
+	}
+	cdfBounded := func(a float64) bool {
+		c := w.CDF(math.Abs(a))
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(cdfBounded, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("CDF out of [0,1]: %v", err)
+	}
+}
+
+func TestWeibullPDFIntegratesToCDF(t *testing.T) {
+	w := MustWeibull(1.5, 100, 10)
+	// Trapezoid integral of the PDF from γ to T should approximate CDF(T).
+	const upper, n = 500.0, 200000
+	h := (upper - 10) / n
+	sum := 0.5 * (w.PDF(10) + w.PDF(upper))
+	for i := 1; i < n; i++ {
+		sum += w.PDF(10 + float64(i)*h)
+	}
+	integral := sum * h
+	if !almostEqual(integral, w.CDF(upper), 1e-6) {
+		t.Errorf("∫PDF = %v, CDF = %v", integral, w.CDF(upper))
+	}
+}
+
+func TestWeibullStringer(t *testing.T) {
+	w := MustWeibull(1.12, 461386, 0)
+	if got := w.String(); got != "Weibull(γ=0, η=461386, β=1.12)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMustWeibullPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustWeibull with bad shape did not panic")
+		}
+	}()
+	MustWeibull(-1, 1, 0)
+}
+
+func BenchmarkWeibullSampling(b *testing.B) {
+	w := MustWeibull(1.12, 461386, 0)
+	r := rng.New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = w.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkExponentialSampling(b *testing.B) {
+	e := MustExponential(1.0 / 461386)
+	r := rng.New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = e.Sample(r)
+	}
+	_ = sink
+}

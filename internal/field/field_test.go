@@ -1,0 +1,131 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+func TestPopulationValidate(t *testing.T) {
+	good := HDD1()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("catalog population invalid: %v", err)
+	}
+	cases := []Population{
+		{Name: "no life", Units: 10, ObservationHours: 100},
+		{Name: "one unit", Life: dist.MustExponential(1), Units: 1, ObservationHours: 100},
+		{Name: "no window", Life: dist.MustExponential(1), Units: 10},
+		{Name: "inf window", Life: dist.MustExponential(1), Units: 10, ObservationHours: math.Inf(1)},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", p.Name)
+		}
+	}
+}
+
+func TestObserveCensorsAtWindow(t *testing.T) {
+	p := Population{
+		Name:             "test",
+		Life:             dist.MustExponential(1.0 / 1000),
+		Units:            5000,
+		ObservationHours: 693, // median of Exp(1/1000) is ~693: ~half censored
+	}
+	obs, err := p.Observe(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 5000 {
+		t.Fatalf("%d observations", len(obs))
+	}
+	censored := 0
+	for _, o := range obs {
+		if o.Censored {
+			censored++
+			if o.Time != 693 {
+				t.Fatalf("censored at %v, want window 693", o.Time)
+			}
+		} else if o.Time > 693 {
+			t.Fatalf("failure at %v beyond window", o.Time)
+		}
+	}
+	frac := float64(censored) / 5000
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("censored fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestObserveInvalidPopulation(t *testing.T) {
+	p := Population{Name: "bad", Units: 0}
+	if _, err := p.Observe(rng.New(1)); err == nil {
+		t.Error("invalid population observed")
+	}
+}
+
+// The three Fig. 1 archetypes must produce their signature hazard shapes.
+func TestArchetypeShapes(t *testing.T) {
+	// HDD1: decreasing hazard throughout the window.
+	h1 := HDD1().Life
+	if dist.Hazard(h1, 20000) >= dist.Hazard(h1, 1000) {
+		t.Error("HDD1 hazard should decrease")
+	}
+	// HDD2: hazard turns up late (wear-out overtakes).
+	h2 := HDD2().Life
+	if dist.Hazard(h2, 25000) <= dist.Hazard(h2, 5000) {
+		t.Error("HDD2 hazard should turn up late")
+	}
+	// HDD3: non-monotone — falls early (mixture burns off), rises late
+	// (competing wear-out).
+	h3 := HDD3().Life
+	early := dist.Hazard(h3, 500)
+	mid := dist.Hazard(h3, 10000)
+	late := dist.Hazard(h3, 30000)
+	if !(mid < early) {
+		t.Errorf("HDD3 hazard should fall early: %v !< %v", mid, early)
+	}
+	if !(late > mid) {
+		t.Errorf("HDD3 hazard should rise late: %v !> %v", late, mid)
+	}
+}
+
+func TestPaperVintages(t *testing.T) {
+	vs := PaperVintages()
+	if len(vs) != 3 {
+		t.Fatalf("%d vintages", len(vs))
+	}
+	// β strictly increasing, η strictly decreasing (the paper's Fig. 2).
+	for i := 1; i < 3; i++ {
+		if vs[i].Shape <= vs[i-1].Shape {
+			t.Error("vintage shapes not increasing")
+		}
+		if vs[i].Scale >= vs[i-1].Scale {
+			t.Error("vintage scales not decreasing")
+		}
+	}
+	// Units match the paper's F+S counts.
+	if vs[0].Units != 10631 || vs[1].Units != 24056 || vs[2].Units != 23834 {
+		t.Errorf("units = %d/%d/%d", vs[0].Units, vs[1].Units, vs[2].Units)
+	}
+	// Populations over a 10,000-hour window produce failure counts in the
+	// ballpark of the paper's (198/992/921).
+	r := rng.New(9)
+	wantF := []int{198, 992, 921}
+	for i, v := range vs {
+		obs, err := v.Population(10000).Observe(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failures := 0
+		for _, o := range obs {
+			if !o.Censored {
+				failures++
+			}
+		}
+		lo, hi := wantF[i]*6/10, wantF[i]*15/10
+		if failures < lo || failures > hi {
+			t.Errorf("vintage %d: %d failures, paper had %d", i+1, failures, wantF[i])
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+// KSDistance computes a Kolmogorov-Smirnov style distance between a
+// (possibly censored) dataset and a candidate lifetime distribution: the
+// maximum gap between the Johnson/Benard median-rank empirical CDF and
+// the candidate CDF at the failure times. It is the quantitative version
+// of eyeballing a probability plot for straightness.
+func KSDistance(obs []Observation, d dist.Distribution) (float64, error) {
+	if d == nil {
+		return 0, fmt.Errorf("fit: nil distribution")
+	}
+	points, err := ProbabilityPlot(obs)
+	if err != nil {
+		return 0, err
+	}
+	var max float64
+	for _, p := range points {
+		if gap := math.Abs(p.MedianRank - d.CDF(p.Time)); gap > max {
+			max = gap
+		}
+	}
+	return max, nil
+}
+
+// GoFResult is the outcome of a parametric-bootstrap goodness-of-fit
+// test.
+type GoFResult struct {
+	// Fit is the censored MLE Weibull fit being judged.
+	Fit Params
+	// Distance is the KS distance between data and fit.
+	Distance float64
+	// PValue estimates P(distance >= Distance | data truly Weibull),
+	// accounting for parameter estimation Lilliefors-style: each bootstrap
+	// replicate is refitted before its distance is measured.
+	PValue float64
+	// Replicates is the number of bootstrap samples used.
+	Replicates int
+}
+
+// Rejects reports whether the Weibull hypothesis is rejected at the given
+// significance level (e.g. 0.05).
+func (g GoFResult) Rejects(alpha float64) bool { return g.PValue < alpha }
+
+// WeibullGoF tests whether the dataset is consistent with a single
+// two-parameter Weibull. Censoring is treated as type-I (all suspensions
+// share the observation window), which matches field-return datasets; the
+// bootstrap replicates reuse the dataset's own censoring window and size.
+func WeibullGoF(obs []Observation, replicates int, r *rng.RNG) (GoFResult, error) {
+	if replicates < 19 {
+		return GoFResult{}, fmt.Errorf("fit: need >= 19 bootstrap replicates, got %d", replicates)
+	}
+	if r == nil {
+		return GoFResult{}, fmt.Errorf("fit: nil RNG")
+	}
+	fitted, err := MLE(obs)
+	if err != nil {
+		return GoFResult{}, err
+	}
+	w, err := dist.NewWeibull(fitted.Shape, fitted.Scale, 0)
+	if err != nil {
+		return GoFResult{}, err
+	}
+	observed, err := KSDistance(obs, w)
+	if err != nil {
+		return GoFResult{}, err
+	}
+	// Censoring window: the latest suspension time, +Inf when uncensored.
+	window := math.Inf(1)
+	for _, o := range obs {
+		if o.Censored && (math.IsInf(window, 1) || o.Time > window) {
+			window = o.Time
+		}
+	}
+	exceed := 0
+	valid := 0
+	synthetic := make([]Observation, len(obs))
+	for b := 0; b < replicates; b++ {
+		for i := range synthetic {
+			t := w.Sample(r)
+			if t > window {
+				synthetic[i] = Observation{Time: window, Censored: true}
+			} else {
+				synthetic[i] = Observation{Time: t}
+			}
+		}
+		refit, err := MLE(synthetic)
+		if err != nil {
+			continue // degenerate replicate (e.g. < 2 failures)
+		}
+		wb, err := dist.NewWeibull(refit.Shape, refit.Scale, 0)
+		if err != nil {
+			continue
+		}
+		db, err := KSDistance(synthetic, wb)
+		if err != nil {
+			continue
+		}
+		valid++
+		if db >= observed {
+			exceed++
+		}
+	}
+	if valid < replicates/2 {
+		return GoFResult{}, fmt.Errorf("fit: only %d of %d bootstrap replicates were usable", valid, replicates)
+	}
+	// The +1 correction keeps the p-value away from an impossible zero.
+	return GoFResult{
+		Fit:        fitted,
+		Distance:   observed,
+		PValue:     (float64(exceed) + 1) / (float64(valid) + 1),
+		Replicates: valid,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package fit
+
+import (
+	"testing"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+func TestKSDistanceValidation(t *testing.T) {
+	if _, err := KSDistance([]Observation{{Time: 1}, {Time: 2}}, nil); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := KSDistance(nil, dist.MustExponential(1)); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestKSDistancePerfectFit(t *testing.T) {
+	// Data placed exactly at the quantiles of the candidate give a small
+	// distance; data from a very different distribution give a large one.
+	w := dist.MustWeibull(1.5, 1000, 0)
+	obs := make([]Observation, 199)
+	for i := range obs {
+		p := float64(i+1) / 200
+		obs[i] = Observation{Time: w.Quantile(p)}
+	}
+	d, err := KSDistance(obs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.02 {
+		t.Errorf("quantile-placed data distance %v, want ~0", d)
+	}
+	far, err := KSDistance(obs, dist.MustWeibull(1.5, 100000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far < 0.5 {
+		t.Errorf("mismatched distribution distance %v, want large", far)
+	}
+}
+
+func TestWeibullGoFValidation(t *testing.T) {
+	r := rng.New(1)
+	obs := []Observation{{Time: 1}, {Time: 2}, {Time: 3}}
+	if _, err := WeibullGoF(obs, 5, r); err == nil {
+		t.Error("too few replicates accepted")
+	}
+	if _, err := WeibullGoF(obs, 100, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+// A genuine Weibull sample should not be rejected.
+func TestGoFAcceptsTrueWeibull(t *testing.T) {
+	r := rng.New(201)
+	w := dist.MustWeibull(0.9, 4e5, 0)
+	obs := drawObservations(w, 2000, 30000, r)
+	res, err := WeibullGoF(obs, 99, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejects(0.01) {
+		t.Errorf("true Weibull rejected: p = %v, D = %v", res.PValue, res.Distance)
+	}
+	if res.Replicates < 50 {
+		t.Errorf("only %d usable replicates", res.Replicates)
+	}
+}
+
+// The paper's HDD #2 signature (competing wear-out) must be firmly
+// rejected — the quantitative version of "the data plot bends upwards".
+func TestGoFRejectsMechanismChange(t *testing.T) {
+	r := rng.New(202)
+	c := dist.MustCompetingRisks([]dist.Distribution{
+		dist.MustWeibull(0.95, 6e5, 0),
+		dist.MustWeibull(3.6, 3e4, 0),
+	})
+	obs := drawObservations(c, 2000, 30000, r)
+	res, err := WeibullGoF(obs, 99, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.05) {
+		t.Errorf("mechanism-change population not rejected: p = %v", res.PValue)
+	}
+}
+
+// The full HDD #3 structure — defective sub-population mixture plus a
+// competing wear-out risk, giving two inflections — is also rejected.
+// (A windowed mixture alone can masquerade as a single Weibull; the
+// paper's HDD #3 needed both effects to bend visibly, and so does the
+// test.)
+func TestGoFRejectsMixturePlusWearout(t *testing.T) {
+	r := rng.New(203)
+	mixed := dist.MustMixture([]dist.Distribution{
+		dist.MustWeibull(0.6, 2.5e4, 0),
+		dist.MustWeibull(1.0, 1.2e6, 0),
+	}, []float64{0.05, 0.95})
+	hdd3 := dist.MustCompetingRisks([]dist.Distribution{
+		mixed,
+		dist.MustWeibull(4.0, 4.0e4, 0),
+	})
+	obs := drawObservations(hdd3, 3000, 30000, r)
+	res, err := WeibullGoF(obs, 99, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejects(0.05) {
+		t.Errorf("HDD#3-style population not rejected: p = %v", res.PValue)
+	}
+}

@@ -1,0 +1,128 @@
+// Package gf256 implements arithmetic over the Galois field GF(2^8) with
+// the polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field used by
+// Reed-Solomon-style P+Q RAID-6 parity. It exists as the algebraic
+// substrate for the alternative double-parity codec that cross-validates
+// the row-diagonal-parity implementation.
+package gf256
+
+// Generator is the primitive element whose powers enumerate the nonzero
+// field elements.
+const Generator = 2
+
+// polynomial is the field's reducing polynomial (without the x^8 term).
+const polynomial = 0x1d
+
+// tables holds the discrete log and exponential tables.
+type tables struct {
+	exp [512]byte // exp[i] = g^i, doubled to avoid modular reduction
+	log [256]byte // log[x] = i with g^i = x, for x != 0
+}
+
+var _tables = buildTables()
+
+func buildTables() *tables {
+	t := &tables{}
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		t.exp[i] = x
+		t.log[x] = byte(i)
+		// Multiply x by the generator (2): shift and reduce.
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= polynomial
+		}
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+// Add returns a + b (XOR; addition and subtraction coincide).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns the field product a·b.
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _tables.exp[int(_tables.log[a])+int(_tables.log[b])]
+}
+
+// Exp returns g^i for any integer i (negative allowed).
+func Exp(i int) byte {
+	i %= 255
+	if i < 0 {
+		i += 255
+	}
+	return _tables.exp[i]
+}
+
+// Log returns the discrete log of x != 0; it panics on zero, which has no
+// logarithm.
+func Log(x byte) int {
+	if x == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(_tables.log[x])
+}
+
+// Inv returns the multiplicative inverse of x != 0; it panics on zero.
+func Inv(x byte) byte {
+	if x == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return _tables.exp[255-int(_tables.log[x])]
+}
+
+// Div returns a / b for b != 0; it panics on division by zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return _tables.exp[int(_tables.log[a])-int(_tables.log[b])+255]
+}
+
+// MulAddSlice computes dst[i] ^= c·src[i] for all i — the inner loop of
+// Q-parity encoding. dst and src must have equal length.
+func MulAddSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	logC := int(_tables.log[c])
+	for i := range dst {
+		s := src[i]
+		if s != 0 {
+			dst[i] ^= _tables.exp[logC+int(_tables.log[s])]
+		}
+	}
+}
+
+// MulSlice computes dst[i] = c·dst[i] in place.
+func MulSlice(dst []byte, c byte) {
+	if c == 1 {
+		return
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	logC := int(_tables.log[c])
+	for i := range dst {
+		if dst[i] != 0 {
+			dst[i] = _tables.exp[logC+int(_tables.log[dst[i]])]
+		}
+	}
+}

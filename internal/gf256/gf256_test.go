@@ -1,0 +1,146 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	// Exhaustive over all pairs: commutativity, and distributivity on a
+	// sample; full associativity over all triples is 16M cases, so sample
+	// it in the quick test below.
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			x, y := byte(a), byte(b)
+			if Mul(x, y) != Mul(y, x) {
+				t.Fatalf("mul not commutative at %d,%d", a, b)
+			}
+			if Add(x, y) != Add(y, x) {
+				t.Fatalf("add not commutative at %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestIdentitiesAndInverses(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		x := byte(a)
+		if Mul(x, 1) != x {
+			t.Fatalf("1 is not identity for %d", a)
+		}
+		if Mul(x, Inv(x)) != 1 {
+			t.Fatalf("inverse broken for %d", a)
+		}
+		if Div(x, x) != 1 {
+			t.Fatalf("x/x != 1 for %d", a)
+		}
+		if Exp(Log(x)) != x {
+			t.Fatalf("exp(log) broken for %d", a)
+		}
+	}
+	if Mul(0, 77) != 0 || Mul(77, 0) != 0 {
+		t.Error("zero annihilator broken")
+	}
+	if Div(0, 5) != 0 {
+		t.Error("0/x != 0")
+	}
+}
+
+func TestPanicsOnZero(t *testing.T) {
+	for _, f := range []func(){
+		func() { Inv(0) },
+		func() { Log(0) },
+		func() { Div(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// g must have order 255: powers 0..254 all distinct, g^255 = 1.
+	seen := make(map[byte]bool, 255)
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("g^%d repeats value %d", i, v)
+		}
+		seen[v] = true
+	}
+	if Exp(255) != 1 || Exp(0) != 1 {
+		t.Error("generator order wrong")
+	}
+	if Exp(-1) != Inv(Generator) {
+		t.Error("negative exponent wrong")
+	}
+}
+
+func TestDistributivityQuick(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 128, 255}
+	dst := []byte{9, 9, 9, 9, 9}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = Add(9, Mul(37, src[i]))
+	}
+	MulAddSlice(dst, src, 37)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("index %d: got %d want %d", i, dst[i], want[i])
+		}
+	}
+	// c = 0 is a no-op; c = 1 is plain XOR.
+	d2 := []byte{1, 2, 3, 4, 5}
+	MulAddSlice(d2, src, 0)
+	if d2[1] != 2 {
+		t.Error("c=0 modified dst")
+	}
+	MulAddSlice(d2, src, 1)
+	if d2[1] != 2^1 {
+		t.Error("c=1 is not XOR")
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	d := []byte{0, 1, 2, 250}
+	want := make([]byte, len(d))
+	for i := range d {
+		want[i] = Mul(19, d[i])
+	}
+	MulSlice(d, 19)
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("index %d", i)
+		}
+	}
+	MulSlice(d, 1) // identity
+	if d[3] != want[3] {
+		t.Error("c=1 changed values")
+	}
+	MulSlice(d, 0)
+	for _, v := range d {
+		if v != 0 {
+			t.Error("c=0 should zero")
+		}
+	}
+}

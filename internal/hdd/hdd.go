@@ -1,0 +1,165 @@
+// Package hdd models the hard disk drive as the reliability model sees
+// it: a catalog of physical drive types (capacity, interface, sustained
+// rate), the failure mode/mechanism taxonomy of the paper's Fig. 3, SMART
+// threshold accounting, and vintage descriptors that map manufacturing
+// epochs to lifetime distributions.
+package hdd
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/analytic"
+	"raidrel/internal/dist"
+)
+
+// Interface is the drive's host attachment.
+type Interface int
+
+const (
+	// FibreChannel drives attach to 2 Gb/s loops in the paper's examples.
+	FibreChannel Interface = iota + 1
+	// SATA drives attach to 1.5 Gb/s links in the paper's examples.
+	SATA
+)
+
+// String implements fmt.Stringer.
+func (i Interface) String() string {
+	switch i {
+	case FibreChannel:
+		return "FC"
+	case SATA:
+		return "SATA"
+	default:
+		return fmt.Sprintf("Interface(%d)", int(i))
+	}
+}
+
+// BusRate returns the interface's shared-bus bandwidth in bytes/second.
+func (i Interface) BusRate() (float64, error) {
+	switch i {
+	case FibreChannel:
+		return analytic.FibreChannel2Gb, nil
+	case SATA:
+		return analytic.SATA15Gb, nil
+	default:
+		return 0, fmt.Errorf("hdd: unknown interface %d", int(i))
+	}
+}
+
+// Drive describes one physical drive model.
+type Drive struct {
+	Model         string
+	CapacityBytes float64
+	Interface     Interface
+	// SustainedBps is the drive's streaming rate in bytes/second.
+	SustainedBps float64
+}
+
+// Validate checks the drive description.
+func (d Drive) Validate() error {
+	if d.Model == "" {
+		return fmt.Errorf("hdd: drive needs a model name")
+	}
+	if !(d.CapacityBytes > 0) || math.IsInf(d.CapacityBytes, 0) {
+		return fmt.Errorf("hdd: %s: capacity %v invalid", d.Model, d.CapacityBytes)
+	}
+	if !(d.SustainedBps > 0) || math.IsInf(d.SustainedBps, 0) {
+		return fmt.Errorf("hdd: %s: sustained rate %v invalid", d.Model, d.SustainedBps)
+	}
+	if _, err := d.Interface.BusRate(); err != nil {
+		return fmt.Errorf("hdd: %s: %w", d.Model, err)
+	}
+	return nil
+}
+
+// Catalog drives from the paper's §6.2 worked examples.
+var (
+	// FC144GB is the 144 GB Fibre Channel drive (~3 h minimum rebuild in
+	// a group of 14).
+	FC144GB = Drive{
+		Model:         "FC-144GB",
+		CapacityBytes: 144 * analytic.GB,
+		Interface:     FibreChannel,
+		SustainedBps:  analytic.FCDriveRate,
+	}
+	// SATA500GB is the 500 GB SATA drive (~10.4 h minimum rebuild).
+	SATA500GB = Drive{
+		Model:         "SATA-500GB",
+		CapacityBytes: 500 * analytic.GB,
+		Interface:     SATA,
+		SustainedBps:  analytic.FCDriveRate,
+	}
+)
+
+// MinRebuildHours returns the drive's hard minimum rebuild time in a group
+// of the given size with the given foreground-IO share.
+func (d Drive) MinRebuildHours(groupSize int, foregroundShare float64) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	bus, err := d.Interface.BusRate()
+	if err != nil {
+		return 0, err
+	}
+	return analytic.MinRebuildHours(analytic.RebuildInput{
+		CapacityBytes:   d.CapacityBytes,
+		DriveRateBps:    d.SustainedBps,
+		BusRateBps:      bus,
+		GroupSize:       groupSize,
+		ForegroundShare: foregroundShare,
+	})
+}
+
+// MinScrubHours returns the minimum full-disk scrub pass duration.
+func (d Drive) MinScrubHours(foregroundShare float64) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	bus, err := d.Interface.BusRate()
+	if err != nil {
+		return 0, err
+	}
+	return analytic.MinScrubHours(analytic.RebuildInput{
+		CapacityBytes:   d.CapacityBytes,
+		DriveRateBps:    d.SustainedBps,
+		BusRateBps:      bus,
+		GroupSize:       2, // irrelevant for scrub; satisfies validation
+		ForegroundShare: foregroundShare,
+	})
+}
+
+// RestoreSpec derives a three-parameter Weibull time-to-restore for this
+// drive: location = hard minimum rebuild time plus service delay, shape 2
+// (right-skewed, per the paper's §6.2), scale = twice the location as a
+// pragmatic spread.
+func (d Drive) RestoreSpec(groupSize int, foregroundShare, serviceDelayHours float64) (dist.Weibull, error) {
+	if serviceDelayHours < 0 || math.IsNaN(serviceDelayHours) {
+		return dist.Weibull{}, fmt.Errorf("hdd: invalid service delay %v", serviceDelayHours)
+	}
+	minH, err := d.MinRebuildHours(groupSize, foregroundShare)
+	if err != nil {
+		return dist.Weibull{}, err
+	}
+	loc := minH + serviceDelayHours
+	return dist.NewWeibull(2, loc*2, loc)
+}
+
+// Vintage ties a manufacturing epoch to its fitted lifetime distribution
+// (Fig. 2: different vintages of the same product have different β and η).
+type Vintage struct {
+	Name string
+	Life dist.Weibull
+}
+
+// NewVintage builds a vintage from (β, η).
+func NewVintage(name string, shape, scale float64) (Vintage, error) {
+	if name == "" {
+		return Vintage{}, fmt.Errorf("hdd: vintage needs a name")
+	}
+	w, err := dist.NewWeibull(shape, scale, 0)
+	if err != nil {
+		return Vintage{}, fmt.Errorf("hdd: vintage %s: %w", name, err)
+	}
+	return Vintage{Name: name, Life: w}, nil
+}

@@ -1,0 +1,187 @@
+package hdd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterfaceBusRates(t *testing.T) {
+	fc, err := FibreChannel.BusRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != 2e9/8 {
+		t.Errorf("FC rate = %v", fc)
+	}
+	sata, err := SATA.BusRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sata != 1.5e9/8 {
+		t.Errorf("SATA rate = %v", sata)
+	}
+	if _, err := Interface(99).BusRate(); err == nil {
+		t.Error("unknown interface accepted")
+	}
+	if FibreChannel.String() != "FC" || SATA.String() != "SATA" {
+		t.Error("interface strings wrong")
+	}
+}
+
+func TestCatalogDrivesValid(t *testing.T) {
+	for _, d := range []Drive{FC144GB, SATA500GB} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", d.Model, err)
+		}
+	}
+}
+
+func TestDriveValidation(t *testing.T) {
+	bad := []Drive{
+		{Model: "", CapacityBytes: 1, Interface: SATA, SustainedBps: 1},
+		{Model: "x", CapacityBytes: 0, Interface: SATA, SustainedBps: 1},
+		{Model: "x", CapacityBytes: 1, Interface: SATA, SustainedBps: 0},
+		{Model: "x", CapacityBytes: 1, Interface: Interface(9), SustainedBps: 1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// The paper's §6.2: SATA 500 GB in a group of 14 needs ~10.4 h minimum.
+func TestPaperRebuildExamples(t *testing.T) {
+	sata, err := SATA500GB.MinRebuildHours(14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sata-10.4) > 0.1 {
+		t.Errorf("SATA rebuild = %v, want ~10.4", sata)
+	}
+	fc, err := FC144GB.MinRebuildHours(14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc < 2 || fc > 3.5 {
+		t.Errorf("FC rebuild = %v, want 2-3.5", fc)
+	}
+}
+
+func TestRestoreSpec(t *testing.T) {
+	w, err := SATA500GB.RestoreSpec(14, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Location = minimum rebuild + 2 h delay; every sample must exceed it.
+	if w.Location() < 12 || w.Location() > 13 {
+		t.Errorf("restore location = %v", w.Location())
+	}
+	if w.Shape() != 2 {
+		t.Errorf("restore shape = %v", w.Shape())
+	}
+	if _, err := SATA500GB.RestoreSpec(14, 0, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestMechanismTaxonomy(t *testing.T) {
+	all := Mechanisms()
+	if len(all) != 11 {
+		t.Fatalf("%d mechanisms", len(all))
+	}
+	ops := MechanismsByConsequence(Operational)
+	lds := MechanismsByConsequence(Latent)
+	if len(ops) != 5 {
+		t.Errorf("%d operational mechanisms, want 5 (Fig. 3)", len(ops))
+	}
+	if len(lds) != 6 {
+		t.Errorf("%d latent mechanisms, want 6 (Fig. 3)", len(lds))
+	}
+	if len(ops)+len(lds) != len(all) {
+		t.Error("taxonomy split incomplete")
+	}
+	if Operational.String() != "operational" || Latent.String() != "latent" {
+		t.Error("consequence strings wrong")
+	}
+}
+
+func TestSMARTTrip(t *testing.T) {
+	s, err := NewSMART(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three events in the window: at the threshold, not over it.
+	for _, age := range []float64{10, 20, 30} {
+		tripped, err := s.RecordReallocation(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tripped {
+			t.Fatalf("tripped at %v with %d events", age, s.Count())
+		}
+	}
+	// Fourth event within the window trips.
+	tripped, err := s.RecordReallocation(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tripped {
+		t.Error("4th event in window did not trip")
+	}
+}
+
+func TestSMARTWindowExpiry(t *testing.T) {
+	s, err := NewSMART(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, age := range []float64{0, 10} {
+		if _, err := s.RecordReallocation(age); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200 h later the early events have left the window.
+	tripped, err := s.RecordReallocation(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tripped {
+		t.Error("tripped on stale events")
+	}
+	if s.Count() != 1 {
+		t.Errorf("window holds %d events, want 1", s.Count())
+	}
+}
+
+func TestSMARTValidation(t *testing.T) {
+	if _, err := NewSMART(0, 10); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewSMART(1, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	s, _ := NewSMART(1, 10)
+	if _, err := s.RecordReallocation(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RecordReallocation(4); err == nil {
+		t.Error("time went backwards")
+	}
+}
+
+func TestNewVintage(t *testing.T) {
+	v, err := NewVintage("v2", 1.2162, 1.2566e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Life.Shape() != 1.2162 {
+		t.Errorf("shape = %v", v.Life.Shape())
+	}
+	if _, err := NewVintage("", 1, 1); err == nil {
+		t.Error("unnamed vintage accepted")
+	}
+	if _, err := NewVintage("x", -1, 1); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}

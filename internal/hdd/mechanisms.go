@@ -1,0 +1,109 @@
+package hdd
+
+import "fmt"
+
+// Consequence classifies a failure mechanism by its system-level effect —
+// the two branches of the paper's Fig. 3.
+type Consequence int
+
+const (
+	// Operational mechanisms make the drive unable to find data: the
+	// whole drive must be replaced ("cannot find data").
+	Operational Consequence = iota + 1
+	// Latent mechanisms silently lose or corrupt data at rest or at write
+	// time ("data missing"), discovered only on read or scrub.
+	Latent
+)
+
+// String implements fmt.Stringer.
+func (c Consequence) String() string {
+	switch c {
+	case Operational:
+		return "operational"
+	case Latent:
+		return "latent"
+	default:
+		return fmt.Sprintf("Consequence(%d)", int(c))
+	}
+}
+
+// Mechanism is one physical failure mechanism from the paper's §3.
+type Mechanism struct {
+	Name        string
+	Consequence Consequence
+	Description string
+}
+
+// Mechanisms reproduces the Fig. 3 taxonomy. The reliability model does
+// not distinguish individual mechanisms — all operational mechanisms feed
+// the TTOp distribution and all latent mechanisms feed TTLd — but the
+// taxonomy documents what those distributions aggregate, and the fault-
+// injection example uses it to label injected faults.
+func Mechanisms() []Mechanism {
+	return []Mechanism{
+		{"bad servo-track", Operational, "servo wedges damaged by scratches or thermal asperities; heads cannot position"},
+		{"bad electronics", Operational, "external PCB failures: DRAM, cracked chip capacitors"},
+		{"cannot stay on track", Operational, "non-repeatable run-out from bearing wear, vibration, servo-loop errors"},
+		{"bad read head", Operational, "magnetic degradation accelerated by ESD, contamination impacts, heat"},
+		{"SMART limit exceeded", Operational, "excessive reallocations in a time window trip the SMART threshold"},
+		{"bad media write", Latent, "writing on scratched, smeared, or pitted media corrupts data at write time"},
+		{"inherent bit-error rate", Latent, "statistical write errors that escape immediate verification"},
+		{"high-fly write", Latent, "perturbed head aerodynamics write magnetically weak, unreadable data"},
+		{"thermal asperity erasure", Latent, "repeated head-disk contact heat erases previously good data"},
+		{"corrosion", Latent, "media corrosion erases data, accelerated by thermal-asperity heat"},
+		{"scratched media", Latent, "hard particles (TiW, Al2O3, C) scratch; soft particles smear data at rest"},
+	}
+}
+
+// MechanismsByConsequence filters the taxonomy.
+func MechanismsByConsequence(c Consequence) []Mechanism {
+	var out []Mechanism
+	for _, m := range Mechanisms() {
+		if m.Consequence == c {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SMART models the self-monitoring threshold of §3.1: reallocation events
+// are tolerated until more than Threshold occur within WindowHours; then
+// the drive trips (an operational failure).
+type SMART struct {
+	Threshold   int
+	WindowHours float64
+
+	events []float64
+}
+
+// NewSMART returns a SMART monitor. Threshold and window must be positive.
+func NewSMART(threshold int, windowHours float64) (*SMART, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("hdd: SMART threshold must be >= 1, got %d", threshold)
+	}
+	if !(windowHours > 0) {
+		return nil, fmt.Errorf("hdd: SMART window must be positive, got %v", windowHours)
+	}
+	return &SMART{Threshold: threshold, WindowHours: windowHours}, nil
+}
+
+// RecordReallocation registers a sector reallocation at the given drive
+// age and reports whether the drive trips (more than Threshold events in
+// the trailing window). Ages must be non-decreasing.
+func (s *SMART) RecordReallocation(ageHours float64) (tripped bool, err error) {
+	if n := len(s.events); n > 0 && ageHours < s.events[n-1] {
+		return false, fmt.Errorf("hdd: SMART ages must be non-decreasing (%v after %v)",
+			ageHours, s.events[n-1])
+	}
+	s.events = append(s.events, ageHours)
+	// Drop events that left the window.
+	cut := 0
+	for cut < len(s.events) && s.events[cut] < ageHours-s.WindowHours {
+		cut++
+	}
+	s.events = s.events[cut:]
+	return len(s.events) > s.Threshold, nil
+}
+
+// Count returns the events currently inside the window.
+func (s *SMART) Count() int { return len(s.events) }

@@ -1,0 +1,182 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"raidrel/internal/rng"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("At wrong")
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Error("Set wrong")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := NewMatrix(0, 3); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := m.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := m.VecMul([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("VecMul = %v, want %v", y, want)
+		}
+	}
+	if _, err := m.VecMul([]float64{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular matrix solved")
+	}
+	b, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := Factor(b); err == nil {
+		t.Error("non-square matrix factored")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-(-6)) > 1e-12 {
+		t.Errorf("det = %v, want -6", f.Det())
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(8)
+		a := MustMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)*2)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b, err := a.MulVec(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("wrong-length b accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestVecMulLinearityProperty(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, -2, 0.5}, {3, 4, -1}})
+	f := func(a1, a2, b1, b2 float64) bool {
+		// Reject inputs that could overflow.
+		for _, v := range []float64{a1, a2, b1, b2} {
+			if math.Abs(v) > 1e100 || math.IsNaN(v) {
+				return true
+			}
+		}
+		x := []float64{a1, a2}
+		y := []float64{b1, b2}
+		s := []float64{a1 + b1, a2 + b2}
+		mx, _ := m.VecMul(x)
+		my, _ := m.VecMul(y)
+		ms, _ := m.VecMul(s)
+		for j := range ms {
+			if math.Abs(ms[j]-(mx[j]+my[j])) > 1e-6*(1+math.Abs(ms[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package markov implements the continuous-time Markov chain machinery that
+// underlies the reliability models the paper compares against. All previous
+// RAID reliability work the paper reviews ("the primary change has been to
+// introduce Markov models", §4.1) assumes constant failure and repair
+// rates; this package builds those comparator chains exactly so the Monte
+// Carlo model's departures from them can be quantified.
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/linalg"
+)
+
+// Chain is a finite-state CTMC described by its generator matrix Q:
+// Q[i][j] (i != j) is the transition rate from state i to j, and each
+// diagonal entry is the negative row sum. Absorbing states have zero rows.
+type Chain struct {
+	n         int
+	q         *linalg.Matrix
+	absorbing []bool
+	labels    []string
+}
+
+// New builds a chain with n states. Rates are added with AddRate; states
+// are made absorbing with SetAbsorbing.
+func New(n int, labels []string) (*Chain, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("markov: chain needs >= 2 states, got %d", n)
+	}
+	if labels != nil && len(labels) != n {
+		return nil, fmt.Errorf("markov: %d labels for %d states", len(labels), n)
+	}
+	q, err := linalg.NewMatrix(n, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{n: n, q: q, absorbing: make([]bool, n)}
+	if labels != nil {
+		c.labels = make([]string, n)
+		copy(c.labels, labels)
+	}
+	return c, nil
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.n }
+
+// Label returns the label of state i, or its index as a string.
+func (c *Chain) Label(i int) string {
+	if c.labels == nil {
+		return fmt.Sprintf("state%d", i)
+	}
+	return c.labels[i]
+}
+
+// AddRate adds a transition from state i to state j at the given positive
+// rate, updating the diagonal to keep rows summing to zero.
+func (c *Chain) AddRate(i, j int, rate float64) error {
+	if i < 0 || i >= c.n || j < 0 || j >= c.n || i == j {
+		return fmt.Errorf("markov: invalid transition %d -> %d", i, j)
+	}
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return fmt.Errorf("markov: rate %v for %d -> %d must be positive and finite", rate, i, j)
+	}
+	if c.absorbing[i] {
+		return fmt.Errorf("markov: state %d is absorbing", i)
+	}
+	c.q.Set(i, j, c.q.At(i, j)+rate)
+	c.q.Set(i, i, c.q.At(i, i)-rate)
+	return nil
+}
+
+// SetAbsorbing marks state i absorbing; any rates previously added out of i
+// must not exist.
+func (c *Chain) SetAbsorbing(i int) error {
+	if i < 0 || i >= c.n {
+		return fmt.Errorf("markov: invalid state %d", i)
+	}
+	for j := 0; j < c.n; j++ {
+		if i != j && c.q.At(i, j) != 0 {
+			return fmt.Errorf("markov: state %d has outgoing rates; cannot absorb", i)
+		}
+	}
+	c.absorbing[i] = true
+	return nil
+}
+
+// IsAbsorbing reports whether state i is absorbing.
+func (c *Chain) IsAbsorbing(i int) bool { return c.absorbing[i] }
+
+// Rate returns the rate from i to j (zero if none).
+func (c *Chain) Rate(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return c.q.At(i, j)
+}
+
+// TransientAt returns the state-probability vector at time t >= 0 starting
+// from the given initial distribution, computed by uniformization. The
+// Poisson series is truncated when the accumulated weight exceeds
+// 1 - 1e-12.
+func (c *Chain) TransientAt(initial []float64, t float64) ([]float64, error) {
+	if len(initial) != c.n {
+		return nil, fmt.Errorf("markov: initial vector length %d for %d states", len(initial), c.n)
+	}
+	var sum float64
+	for _, p := range initial {
+		if p < 0 {
+			return nil, fmt.Errorf("markov: negative initial probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("markov: initial probabilities sum to %v", sum)
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("markov: invalid time %v", t)
+	}
+	if t == 0 {
+		out := make([]float64, c.n)
+		copy(out, initial)
+		return out, nil
+	}
+	// Uniformization rate: max exit rate, padded.
+	lambda := 0.0
+	for i := 0; i < c.n; i++ {
+		if r := -c.q.At(i, i); r > lambda {
+			lambda = r
+		}
+	}
+	if lambda == 0 {
+		out := make([]float64, c.n)
+		copy(out, initial)
+		return out, nil
+	}
+	lambda *= 1.02
+	// DTMC kernel P = I + Q/lambda.
+	p := linalg.MustMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			v := c.q.At(i, j) / lambda
+			if i == j {
+				v++
+			}
+			p.Set(i, j, v)
+		}
+	}
+	// pi(t) = sum_k Pois(k; lambda t) * initial P^k.
+	lt := lambda * t
+	// Poisson weights computed iteratively in log space for large lt.
+	out := make([]float64, c.n)
+	vec := make([]float64, c.n)
+	copy(vec, initial)
+	logW := -lt // ln Pois(0)
+	accum := 0.0
+	maxK := int(lt + 12*math.Sqrt(lt) + 50)
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		for i := range out {
+			out[i] += w * vec[i]
+		}
+		accum += w
+		if accum > 1-1e-12 || k > maxK {
+			break
+		}
+		next, err := p.VecMul(vec)
+		if err != nil {
+			return nil, err
+		}
+		vec = next
+		logW += math.Log(lt) - math.Log(float64(k+1))
+	}
+	// Renormalize the truncated series.
+	if accum > 0 {
+		for i := range out {
+			out[i] /= accum
+		}
+	}
+	return out, nil
+}
+
+// AbsorptionProbability returns the probability of having been absorbed
+// into any absorbing state by time t, starting from state start.
+func (c *Chain) AbsorptionProbability(start int, t float64) (float64, error) {
+	if start < 0 || start >= c.n {
+		return 0, fmt.Errorf("markov: invalid start state %d", start)
+	}
+	initial := make([]float64, c.n)
+	initial[start] = 1
+	pi, err := c.TransientAt(initial, t)
+	if err != nil {
+		return 0, err
+	}
+	var p float64
+	for i, a := range c.absorbing {
+		if a {
+			p += pi[i]
+		}
+	}
+	return p, nil
+}
+
+// MeanTimeToAbsorption returns the expected time to reach any absorbing
+// state starting from state start, by solving -Q_TT tau = 1 on the
+// transient submatrix.
+func (c *Chain) MeanTimeToAbsorption(start int) (float64, error) {
+	if start < 0 || start >= c.n {
+		return 0, fmt.Errorf("markov: invalid start state %d", start)
+	}
+	if c.absorbing[start] {
+		return 0, nil
+	}
+	// Collect transient states.
+	idx := make([]int, 0, c.n)
+	pos := make(map[int]int, c.n)
+	hasAbsorbing := false
+	for i := 0; i < c.n; i++ {
+		if c.absorbing[i] {
+			hasAbsorbing = true
+			continue
+		}
+		pos[i] = len(idx)
+		idx = append(idx, i)
+	}
+	if !hasAbsorbing {
+		return math.Inf(1), nil
+	}
+	m := len(idx)
+	a := linalg.MustMatrix(m, m)
+	for r, i := range idx {
+		for s, j := range idx {
+			a.Set(r, s, -c.q.At(i, j))
+		}
+	}
+	ones := make([]float64, m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	tau, err := linalg.Solve(a, ones)
+	if err != nil {
+		return 0, fmt.Errorf("markov: absorption solve: %w", err)
+	}
+	return tau[pos[start]], nil
+}

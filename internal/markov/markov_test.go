@@ -1,0 +1,346 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChainValidation(t *testing.T) {
+	if _, err := New(1, nil); err == nil {
+		t.Error("1-state chain accepted")
+	}
+	if _, err := New(3, []string{"a"}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	c, err := New(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := c.AddRate(0, 5, 1); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := c.AddRate(0, 1, -2); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := c.AddRate(0, 1, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := c.AddRate(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetAbsorbing(0); err == nil {
+		t.Error("absorbing state with outgoing rates accepted")
+	}
+	if err := c.SetAbsorbing(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(2, 0, 1); err == nil {
+		t.Error("rate out of absorbing state accepted")
+	}
+	if c.Label(0) != "state0" {
+		t.Errorf("default label = %q", c.Label(0))
+	}
+}
+
+func TestTwoStateExactTransient(t *testing.T) {
+	// Simple birth-death: 0 -> 1 at rate a, 1 -> 0 at rate b.
+	// P(in state 1 at t | start 0) = a/(a+b) (1 - e^{-(a+b)t}).
+	a, b := 0.3, 0.7
+	c, err := New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(0, 1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(1, 0, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 0.1, 1, 5, 50} {
+		pi, err := c.TransientAt([]float64{1, 0}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a / (a + b) * (1 - math.Exp(-(a+b)*tt))
+		if math.Abs(pi[1]-want) > 1e-9 {
+			t.Errorf("t=%v: P(1) = %v, want %v", tt, pi[1], want)
+		}
+		if math.Abs(pi[0]+pi[1]-1) > 1e-9 {
+			t.Errorf("t=%v: probabilities sum to %v", tt, pi[0]+pi[1])
+		}
+	}
+}
+
+func TestPureDeathAbsorption(t *testing.T) {
+	// 0 -> 1 (absorbing) at rate r: absorption prob is 1 - e^{-rt} and
+	// MTTA is 1/r.
+	c, err := New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(0, 1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetAbsorbing(1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.AbsorptionProbability(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-(1-math.Exp(-1))) > 1e-9 {
+		t.Errorf("absorption = %v, want %v", p, 1-math.Exp(-1))
+	}
+	mtta, err := c.MeanTimeToAbsorption(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mtta-100) > 1e-9 {
+		t.Errorf("MTTA = %v, want 100", mtta)
+	}
+	// From the absorbing state itself MTTA is zero.
+	if m, _ := c.MeanTimeToAbsorption(1); m != 0 {
+		t.Errorf("MTTA from absorbing = %v", m)
+	}
+}
+
+func TestNoAbsorbingStateMTTAInfinite(t *testing.T) {
+	c, _ := New(2, nil)
+	if err := c.AddRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.MeanTimeToAbsorption(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(m, 1) {
+		t.Errorf("MTTA = %v, want +Inf", m)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c, _ := New(2, nil)
+	if err := c.AddRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TransientAt([]float64{1}, 1); err == nil {
+		t.Error("short initial vector accepted")
+	}
+	if _, err := c.TransientAt([]float64{0.5, 0.4}, 1); err == nil {
+		t.Error("non-normalized initial accepted")
+	}
+	if _, err := c.TransientAt([]float64{-1, 2}, 1); err == nil {
+		t.Error("negative initial accepted")
+	}
+	if _, err := c.TransientAt([]float64{1, 0}, -1); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := c.AbsorptionProbability(7, 1); err == nil {
+		t.Error("bad start state accepted")
+	}
+	if _, err := c.MeanTimeToAbsorption(-1); err == nil {
+		t.Error("bad start state accepted")
+	}
+}
+
+// The classic three-state RAID chain's MTTA must equal the paper's
+// equation 1 closed form.
+func TestRAIDChainMatchesEquationOne(t *testing.T) {
+	cases := []struct {
+		n          int
+		mtbf, mttr float64
+	}{
+		{7, 461386, 12},
+		{7, 1e6, 24},
+		{13, 461386, 6},
+		{1, 250000, 12},
+	}
+	for _, tc := range cases {
+		lambda := 1 / tc.mtbf
+		mu := 1 / tc.mttr
+		c, err := NewRAIDChain(tc.n, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.MeanTimeToAbsorption(RAIDAllGood)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := float64(tc.n)
+		want := ((2*n+1)*lambda + mu) / (n * (n + 1) * lambda * lambda)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("N=%d: MTTA = %v, want eq.1 %v", tc.n, got, want)
+		}
+	}
+}
+
+// Equation 3 of the paper: MTBF 461,386 h, MTTR 12 h, N = 7 gives an MTTDL
+// of about 36,162 years.
+func TestRAIDChainPaperEquationThree(t *testing.T) {
+	c, err := NewRAIDChain(7, 1/461386.0, 1/12.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtta, err := c.MeanTimeToAbsorption(RAIDAllGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := mtta / 8760
+	if math.Abs(years-36162) > 100 {
+		t.Errorf("MTTDL = %v years, want ~36,162", years)
+	}
+}
+
+func TestRAIDChainValidation(t *testing.T) {
+	if _, err := NewRAIDChain(0, 1e-6, 0.1); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewRAIDChain(7, -1, 0.1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+// The double-parity chain's MTTA must approach the classical RAID 6
+// closed form when repairs are fast, and dwarf the single-parity MTTDL.
+func TestDoubleParityChain(t *testing.T) {
+	const (
+		drives = 8
+		mtbf   = 461386.0
+		mttr   = 12.0
+	)
+	c, err := NewDoubleParityChain(drives, 1/mtbf, 1/mttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtta, err := c.MeanTimeToAbsorption(DPAllGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := float64(drives)
+	want := mtbf * mtbf * mtbf / (m * (m - 1) * (m - 2) * mttr * mttr)
+	if rel := math.Abs(mtta-want) / want; rel > 1e-3 {
+		t.Errorf("MTTA = %v, closed form %v (rel %v)", mtta, want, rel)
+	}
+	single, err := NewRAIDChain(drives-1, 1/mtbf, 1/mttr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleMTTA, err := single.MeanTimeToAbsorption(RAIDAllGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtta < singleMTTA*1000 {
+		t.Errorf("double parity MTTA %v not >> single parity %v", mtta, singleMTTA)
+	}
+	if _, err := NewDoubleParityChain(2, 1, 1); err == nil {
+		t.Error("2-drive double-parity chain accepted")
+	}
+}
+
+func TestFigureFourChainStructure(t *testing.T) {
+	p := FigureFourRates{
+		N:         7,
+		LambdaOp:  1 / 461386.0,
+		LambdaLd:  1.08e-4,
+		MuRestore: 1 / 12.0,
+		MuScrub:   1 / 156.0,
+	}
+	c, err := NewFigureFourChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 5 {
+		t.Fatalf("states = %d", c.N())
+	}
+	if !c.IsAbsorbing(LDFailedLdOp) || !c.IsAbsorbing(LDFailedOpOp) {
+		t.Error("failure states not absorbing")
+	}
+	if got := c.Rate(LDFullyFunctional, LDDegradedLatent); math.Abs(got-8*p.LambdaLd) > 1e-15 {
+		t.Errorf("1->2 rate = %v", got)
+	}
+	if got := c.Rate(LDDegradedLatent, LDFailedLdOp); math.Abs(got-7*p.LambdaOp) > 1e-15 {
+		t.Errorf("2->3 rate = %v", got)
+	}
+	if got := c.Rate(LDDegradedOp, LDFailedOpOp); math.Abs(got-7*p.LambdaOp) > 1e-15 {
+		t.Errorf("4->5 rate = %v", got)
+	}
+}
+
+// With latent defects present, the chain's MTTA must be dramatically
+// shorter than the defect-free chain's — the core qualitative claim.
+func TestFigureFourChainLatentDefectsShortenLife(t *testing.T) {
+	lambda := 1 / 461386.0
+	base, err := NewRAIDChain(7, lambda, 1/12.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMTTA, err := base.MeanTimeToAbsorption(RAIDAllGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLd, err := NewFigureFourChain(FigureFourRates{
+		N: 7, LambdaOp: lambda, LambdaLd: 1.08e-4,
+		MuRestore: 1 / 12.0, MuScrub: 1 / 156.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldMTTA, err := withLd.MeanTimeToAbsorption(LDFullyFunctional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldMTTA >= baseMTTA/50 {
+		t.Errorf("latent-defect MTTA %v not << defect-free MTTA %v", ldMTTA, baseMTTA)
+	}
+	// Slower scrub must shorten life further.
+	slowScrub, err := NewFigureFourChain(FigureFourRates{
+		N: 7, LambdaOp: lambda, LambdaLd: 1.08e-4,
+		MuRestore: 1 / 12.0, MuScrub: 1 / 1000.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowMTTA, err := slowScrub.MeanTimeToAbsorption(LDFullyFunctional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowMTTA >= ldMTTA {
+		t.Errorf("slower scrub gave longer MTTA: %v >= %v", slowMTTA, ldMTTA)
+	}
+}
+
+func TestFigureFourValidation(t *testing.T) {
+	if _, err := NewFigureFourChain(FigureFourRates{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewFigureFourChain(FigureFourRates{N: 7}); err == nil {
+		t.Error("zero rates accepted")
+	}
+}
+
+func TestAbsorptionProbabilityMonotone(t *testing.T) {
+	c, err := NewRAIDChain(7, 1/461386.0, 1/12.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, tt := range []float64{1000, 10000, 87600, 876000} {
+		p, err := c.AbsorptionProbability(RAIDAllGood, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Errorf("absorption probability decreased at t=%v: %v < %v", tt, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Errorf("absorption probability %v out of [0,1]", p)
+		}
+		prev = p
+	}
+}

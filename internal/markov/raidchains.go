@@ -1,0 +1,149 @@
+package markov
+
+import "fmt"
+
+// State indices for the classic three-state RAID chain.
+const (
+	RAIDAllGood  = 0 // every drive operational
+	RAIDDegraded = 1 // one drive failed, rebuilding
+	RAIDDataLoss = 2 // double-disk failure (absorbing)
+)
+
+// NewRAIDChain builds the textbook N+1 RAID group chain with constant
+// failure rate lambda (per drive-hour) and repair rate mu. Its mean time to
+// absorption from state 0 is exactly the paper's equation 1:
+//
+//	MTTDL = ((2N+1)λ + μ) / (N(N+1)λ²)
+func NewRAIDChain(n int, lambda, mu float64) (*Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("markov: RAID chain needs data drives N >= 1, got %d", n)
+	}
+	c, err := New(3, []string{"all-good", "degraded", "data-loss"})
+	if err != nil {
+		return nil, err
+	}
+	total := float64(n + 1)
+	if err := c.AddRate(RAIDAllGood, RAIDDegraded, total*lambda); err != nil {
+		return nil, err
+	}
+	if err := c.AddRate(RAIDDegraded, RAIDAllGood, mu); err != nil {
+		return nil, err
+	}
+	if err := c.AddRate(RAIDDegraded, RAIDDataLoss, float64(n)*lambda); err != nil {
+		return nil, err
+	}
+	if err := c.SetAbsorbing(RAIDDataLoss); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// State indices for the double-parity (RAID 6) chain.
+const (
+	DPAllGood  = 0 // every drive operational
+	DPOneDown  = 1 // one drive rebuilding
+	DPTwoDown  = 2 // two drives rebuilding
+	DPDataLoss = 3 // triple failure (absorbing)
+)
+
+// NewDoubleParityChain builds the constant-rate chain for a RAID 6 group
+// of totalDrives drives (N data + 2 parity): data loss requires three
+// overlapping failures. Repairs proceed one at a time (single repair
+// crew), matching the simulator's per-drive restore process. With
+// μ >> λ its MTTA approaches MTBF³ / (m(m-1)(m-2) · MTTR²).
+func NewDoubleParityChain(totalDrives int, lambda, mu float64) (*Chain, error) {
+	if totalDrives < 3 {
+		return nil, fmt.Errorf("markov: double-parity chain needs >= 3 drives, got %d", totalDrives)
+	}
+	c, err := New(4, []string{"all-good", "one-down", "two-down", "data-loss"})
+	if err != nil {
+		return nil, err
+	}
+	m := float64(totalDrives)
+	add := func(i, j int, rate float64) {
+		if err == nil {
+			err = c.AddRate(i, j, rate)
+		}
+	}
+	add(DPAllGood, DPOneDown, m*lambda)
+	add(DPOneDown, DPAllGood, mu)
+	add(DPOneDown, DPTwoDown, (m-1)*lambda)
+	add(DPTwoDown, DPOneDown, mu)
+	add(DPTwoDown, DPDataLoss, (m-2)*lambda)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetAbsorbing(DPDataLoss); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// State indices for the five-state latent-defect chain of the paper's
+// Fig. 4 (constant-rate approximation).
+const (
+	LDFullyFunctional = 0 // state 1: all drives good, no latent defects
+	LDDegradedLatent  = 1 // state 2: >= 1 latent defect present
+	LDFailedLdOp      = 2 // state 3: latent defect then operational failure (absorbing)
+	LDDegradedOp      = 3 // state 4: one operational failure, rebuilding
+	LDFailedOpOp      = 4 // state 5: two simultaneous operational failures (absorbing)
+)
+
+// FigureFourRates holds the constant-rate parameters of the Fig. 4 chain.
+type FigureFourRates struct {
+	N         int     // data drives (group size is N+1)
+	LambdaOp  float64 // operational failure rate per drive-hour
+	LambdaLd  float64 // latent defect rate per drive-hour
+	MuRestore float64 // rebuild completion rate (1/MTTR)
+	MuScrub   float64 // scrub completion rate (1/mean scrub time)
+}
+
+// NewFigureFourChain builds the paper's Fig. 4 state diagram as a CTMC with
+// constant rates. This is what a Markov treatment of the latent-defect
+// model looks like if one (incorrectly, per the paper) assumes
+// exponential distributions everywhere — the Monte Carlo engine relaxes
+// that assumption.
+func NewFigureFourChain(p FigureFourRates) (*Chain, error) {
+	if p.N < 1 {
+		return nil, fmt.Errorf("markov: figure-4 chain needs N >= 1, got %d", p.N)
+	}
+	c, err := New(5, []string{
+		"fully-functional", "degraded-latent", "failed-ld-op",
+		"degraded-op", "failed-op-op",
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := float64(p.N + 1)
+	data := float64(p.N)
+	add := func(i, j int, rate float64) {
+		if err == nil {
+			err = c.AddRate(i, j, rate)
+		}
+	}
+	// 1 -> 2: any of the N+1 drives develops a latent defect.
+	add(LDFullyFunctional, LDDegradedLatent, total*p.LambdaLd)
+	// 1 -> 4: any of the N+1 drives fails operationally.
+	add(LDFullyFunctional, LDDegradedOp, total*p.LambdaOp)
+	// 2 -> 1: scrub corrects the latent defect.
+	add(LDDegradedLatent, LDFullyFunctional, p.MuScrub)
+	// 2 -> 3: operational failure of any of the N other drives => DDF.
+	add(LDDegradedLatent, LDFailedLdOp, data*p.LambdaOp)
+	// 2 -> 4: the defective drive itself fails operationally (the paper's
+	// note 2 folds SMART-trip/time-out transitions into the Op rate).
+	add(LDDegradedLatent, LDDegradedOp, p.LambdaOp)
+	// 4 -> 1: restore completes.
+	add(LDDegradedOp, LDFullyFunctional, p.MuRestore)
+	// 4 -> 5: second simultaneous operational failure => DDF.
+	add(LDDegradedOp, LDFailedOpOp, data*p.LambdaOp)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetAbsorbing(LDFailedLdOp); err != nil {
+		return nil, err
+	}
+	if err := c.SetAbsorbing(LDFailedOpOp); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

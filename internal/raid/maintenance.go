@@ -1,0 +1,235 @@
+package raid
+
+import (
+	"fmt"
+)
+
+// FailDisk marks a drive as operationally failed: every block on it reads
+// as an erasure until the disk is replaced and rebuilt.
+func (a *Array) FailDisk(d int) error {
+	if err := a.checkDisk(d); err != nil {
+		return err
+	}
+	if a.disks[d].failed {
+		return fmt.Errorf("raid: disk %d already failed", d)
+	}
+	a.disks[d].failed = true
+	return nil
+}
+
+// FailedDisks lists currently failed drives.
+func (a *Array) FailedDisks() []int {
+	var out []int
+	for d := range a.disks {
+		if a.disks[d].failed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CorruptBlock silently corrupts the payload of (disk, set, row): the data
+// changes but the stored checksum does not, exactly like a latent sector
+// defect — invisible until the block is next read or scrubbed.
+func (a *Array) CorruptBlock(d, set, row int) error {
+	if err := a.checkDisk(d); err != nil {
+		return err
+	}
+	if err := a.checkSet(set); err != nil {
+		return err
+	}
+	if row < 0 || row >= a.rowsPerSet() {
+		return fmt.Errorf("raid: row %d out of range [0,%d)", row, a.rowsPerSet())
+	}
+	if a.disks[d].failed {
+		return fmt.Errorf("raid: disk %d is failed; nothing to corrupt", d)
+	}
+	b := &a.disks[d].blocks[a.blockIndex(set, row)]
+	for i := range b.data {
+		b.data[i] ^= 0xA5
+	}
+	return nil
+}
+
+// RebuildReport summarizes a disk replacement.
+type RebuildReport struct {
+	Disk int
+	// LostSets lists stripe sets whose data could not be reconstructed —
+	// each is a block-level double failure (e.g. a latent defect on a
+	// surviving drive). Lost sets are zero-filled on the replacement.
+	LostSets []int
+	// RepairedBlocks counts blocks written to the replacement.
+	RepairedBlocks int
+}
+
+// ReplaceDisk swaps in a fresh drive for a failed one and reconstructs its
+// contents from the surviving drives. Stripe sets that cannot be
+// reconstructed are reported as lost — the physical DDF the reliability
+// model counts.
+func (a *Array) ReplaceDisk(d int) (*RebuildReport, error) {
+	if err := a.checkDisk(d); err != nil {
+		return nil, err
+	}
+	if !a.disks[d].failed {
+		return nil, fmt.Errorf("raid: disk %d has not failed", d)
+	}
+	report := &RebuildReport{Disk: d}
+	rows := a.rowsPerSet()
+	// Bring the disk back empty, then reconstruct set by set using the
+	// remaining drives (the disk participates as an erasure during its own
+	// reconstruction).
+	for b := range a.disks[d].blocks {
+		zero := make([]byte, a.blockSize)
+		a.disks[d].blocks[b] = block{data: zero, sum: 0} // invalid checksum: still an erasure
+	}
+	a.disks[d].failed = false
+	for set := 0; set < a.stripeSets; set++ {
+		cells, err := a.recoverSet(set)
+		if err != nil {
+			var unrec *UnrecoverableError
+			if asUnrecoverable(err, &unrec) {
+				report.LostSets = append(report.LostSets, set)
+				// Zero-fill with valid checksums so the array returns to a
+				// consistent (if lossy) state.
+				for r := 0; r < rows; r++ {
+					a.writeRaw(d, set, r, make([]byte, a.blockSize))
+				}
+				continue
+			}
+			return nil, err
+		}
+		for r := 0; r < rows; r++ {
+			a.writeRaw(d, set, r, cells[r][d])
+			report.RepairedBlocks++
+		}
+	}
+	// Re-encode parity for lost sets so subsequent reads are consistent.
+	// With another disk still down the re-encode must wait: the lost sets
+	// keep invalid checksums on this disk (visible erasures) and the final
+	// rebuild — when the array is whole again — re-discovers and settles
+	// them.
+	if len(a.FailedDisks()) == 0 {
+		for _, set := range report.LostSets {
+			data := make([][]byte, a.DataBlocksPerSet())
+			for i := range data {
+				data[i] = make([]byte, a.blockSize)
+			}
+			if err := a.WriteStripe(set, data); err != nil {
+				return nil, fmt.Errorf("raid: re-encode lost set %d: %w", set, err)
+			}
+		}
+	} else {
+		for _, set := range report.LostSets {
+			for r := 0; r < rows; r++ {
+				b := &a.disks[d].blocks[a.blockIndex(set, r)]
+				b.sum = ^crcOf(b.data) // deliberately invalid: still an erasure
+			}
+		}
+	}
+	return report, nil
+}
+
+// asUnrecoverable is a tiny errors.As specialization (avoids importing
+// errors for one call site spread).
+func asUnrecoverable(err error, target **UnrecoverableError) bool {
+	u, ok := err.(*UnrecoverableError)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+// RepairBlock reconstructs a single block from parity and rewrites it — a
+// targeted scrub of one suspect location (the per-defect correction the
+// reliability model's TTScrub samples). It fails if the stripe set is
+// unrecoverable (e.g. another disk is down and the set has lost too much).
+func (a *Array) RepairBlock(d, set, row int) error {
+	if err := a.checkDisk(d); err != nil {
+		return err
+	}
+	if err := a.checkSet(set); err != nil {
+		return err
+	}
+	if row < 0 || row >= a.rowsPerSet() {
+		return fmt.Errorf("raid: row %d out of range [0,%d)", row, a.rowsPerSet())
+	}
+	if a.disks[d].failed {
+		return fmt.Errorf("raid: disk %d is failed; rebuild it instead", d)
+	}
+	cells, err := a.recoverSet(set)
+	if err != nil {
+		return err
+	}
+	a.writeRaw(d, set, row, cells[row][d])
+	return nil
+}
+
+// ScrubReport summarizes one full scrub pass.
+type ScrubReport struct {
+	// CheckedBlocks counts blocks whose checksum was verified.
+	CheckedBlocks int
+	// RepairedBlocks counts silently corrupted blocks that were
+	// reconstructed from parity and rewritten.
+	RepairedBlocks int
+	// UnrecoverableSets lists stripe sets where corruption exceeded the
+	// redundancy (possible only with coincident corruptions or failures).
+	UnrecoverableSets []int
+}
+
+// Scrub reads every block on every live drive, verifies checksums, and
+// repairs silent corruption from parity — the paper's §6.4 background
+// scrubbing, performed as one synchronous pass.
+func (a *Array) Scrub() (*ScrubReport, error) {
+	report := &ScrubReport{}
+	rows := a.rowsPerSet()
+	for set := 0; set < a.stripeSets; set++ {
+		// First count checks for reporting.
+		bad := false
+		for d := range a.disks {
+			if a.disks[d].failed {
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				report.CheckedBlocks++
+				if _, ok := a.readRaw(d, set, r); !ok {
+					bad = true
+				}
+			}
+		}
+		if !bad {
+			continue
+		}
+		cells, err := a.recoverSet(set)
+		if err != nil {
+			var unrec *UnrecoverableError
+			if asUnrecoverable(err, &unrec) {
+				report.UnrecoverableSets = append(report.UnrecoverableSets, set)
+				continue
+			}
+			return nil, err
+		}
+		for d := range a.disks {
+			if a.disks[d].failed {
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				if _, ok := a.readRaw(d, set, r); !ok {
+					a.writeRaw(d, set, r, cells[r][d])
+					report.RepairedBlocks++
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// VerifyAll re-reads every stripe set and returns the first error, or nil
+// if every block is intact or reconstructable.
+func (a *Array) VerifyAll() error {
+	for set := 0; set < a.stripeSets; set++ {
+		if _, err := a.ReadStripe(set); err != nil {
+			return err
+		}
+	}
+	return nil
+}

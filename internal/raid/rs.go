@@ -1,0 +1,165 @@
+package raid
+
+import (
+	"fmt"
+
+	"raidrel/internal/gf256"
+)
+
+// RAID6RS is an alternative double-parity layout: Reed-Solomon style P+Q
+// over GF(2^8) with single-row stripes (P = Σ dᵢ, Q = Σ gⁱ·dᵢ). It
+// tolerates any two simultaneous losses like RAID6 (row-diagonal parity)
+// but trades XOR-only arithmetic for field multiplications; the two
+// implementations cross-validate each other and the benchmark suite
+// compares their costs.
+const RAID6RS Level = 4
+
+// rsDataDisks returns the number of data columns of an RS array.
+func (a *Array) rsDataDisks() int { return len(a.disks) - 2 }
+
+// rsP and rsQ return the parity column indices.
+func (a *Array) rsP() int { return len(a.disks) - 2 }
+func (a *Array) rsQ() int { return len(a.disks) - 1 }
+
+// writeStripeRS encodes one single-row stripe with P and Q parity.
+func (a *Array) writeStripeRS(set int, data [][]byte) error {
+	p := make([]byte, a.blockSize)
+	q := make([]byte, a.blockSize)
+	for i, blk := range data {
+		a.writeRaw(i, set, 0, blk)
+		xorInto(p, blk)
+		gf256.MulAddSlice(q, blk, gf256.Exp(i))
+	}
+	a.writeRaw(a.rsP(), set, 0, p)
+	a.writeRaw(a.rsQ(), set, 0, q)
+	return nil
+}
+
+// solveRS reconstructs the missing cells of a single-row RS stripe in
+// place. cells[0][c] holds column c; missing[0][c] flags erasures.
+func (a *Array) solveRS(set int, cells [][][]byte, missing [][]bool) error {
+	row := cells[0]
+	miss := missing[0]
+	k := a.rsDataDisks()
+	var gone []int
+	for c := range miss {
+		if miss[c] {
+			gone = append(gone, c)
+		}
+	}
+	switch len(gone) {
+	case 0:
+		return nil
+	case 1, 2:
+		// Handled below.
+	default:
+		return &UnrecoverableError{Set: set, Rows: []int{0}}
+	}
+	pMissing, qMissing := false, false
+	var dataGone []int
+	for _, c := range gone {
+		switch c {
+		case a.rsP():
+			pMissing = true
+		case a.rsQ():
+			qMissing = true
+		default:
+			dataGone = append(dataGone, c)
+		}
+	}
+	// Helper partial sums over the surviving data columns.
+	partialP := func(skip ...int) []byte {
+		out := make([]byte, a.blockSize)
+		for i := 0; i < k; i++ {
+			if contains(skip, i) || miss[i] {
+				continue
+			}
+			xorInto(out, row[i])
+		}
+		return out
+	}
+	partialQ := func(skip ...int) []byte {
+		out := make([]byte, a.blockSize)
+		for i := 0; i < k; i++ {
+			if contains(skip, i) || miss[i] {
+				continue
+			}
+			gf256.MulAddSlice(out, row[i], gf256.Exp(i))
+		}
+		return out
+	}
+	recomputeParity := func() {
+		if pMissing {
+			row[a.rsP()] = partialP()
+			miss[a.rsP()] = false
+		}
+		if qMissing {
+			row[a.rsQ()] = partialQ()
+			miss[a.rsQ()] = false
+		}
+	}
+	switch {
+	case len(dataGone) == 0:
+		// Only parity lost: recompute from intact data.
+		recomputeParity()
+	case len(dataGone) == 1 && !pMissing:
+		// One data column, P alive: XOR recovery.
+		x := dataGone[0]
+		rec := partialP(x)
+		xorInto(rec, row[a.rsP()])
+		row[x] = rec
+		miss[x] = false
+		recomputeParity()
+	case len(dataGone) == 1 && pMissing:
+		// One data column and P: recover the data from Q, then P.
+		x := dataGone[0]
+		rec := partialQ(x)
+		xorInto(rec, row[a.rsQ()])         // rec = g^x · d_x
+		gf256.MulSlice(rec, gf256.Exp(-x)) // d_x
+		row[x] = rec
+		miss[x] = false
+		recomputeParity()
+	default:
+		// Two data columns x < y: the classic P+Q solve.
+		x, y := dataGone[0], dataGone[1]
+		pxy := partialP(x, y)
+		xorInto(pxy, row[a.rsP()]) // d_x ⊕ d_y
+		qxy := partialQ(x, y)
+		xorInto(qxy, row[a.rsQ()]) // g^x d_x ⊕ g^y d_y
+
+		gy := gf256.Exp(y)
+		denom := gf256.Add(gf256.Exp(x), gy)
+		inv := gf256.Inv(denom)
+		dx := make([]byte, a.blockSize)
+		copy(dx, qxy)
+		gf256.MulAddSlice(dx, pxy, gy) // qxy ⊕ g^y·pxy
+		gf256.MulSlice(dx, inv)
+		dy := make([]byte, a.blockSize)
+		copy(dy, pxy)
+		xorInto(dy, dx)
+		row[x], row[y] = dx, dy
+		miss[x], miss[y] = false, false
+		recomputeParity()
+	}
+	return nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// validateRS checks RS geometry at construction.
+func validateRS(disks int) error {
+	if disks < 4 {
+		return fmt.Errorf("raid: RAID6-RS needs >= 4 disks, got %d", disks)
+	}
+	if disks-2 > 255 {
+		return fmt.Errorf("raid: RAID6-RS supports at most 257 disks, got %d", disks)
+	}
+	return nil
+}

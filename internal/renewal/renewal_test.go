@@ -1,0 +1,113 @@
+package renewal
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/dist"
+)
+
+// For exponential lifetimes the renewal process is a HPP and m(t) = λt
+// exactly — the one case where the MTTDL-style "rate × time" arithmetic is
+// valid.
+func TestExponentialRenewalIsLinear(t *testing.T) {
+	d := dist.MustExponential(0.01)
+	f, err := Compute(d, 1000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{100, 400, 900} {
+		want := 0.01 * tt
+		if got := f.At(tt); math.Abs(got-want) > 0.01*want+0.01 {
+			t.Errorf("m(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	// Density is constant λ.
+	if d1, d2 := f.Density(200), f.Density(800); math.Abs(d1-d2) > 1e-3 {
+		t.Errorf("exponential ROCOF not constant: %v vs %v", d1, d2)
+	}
+}
+
+// For increasing-hazard (β > 1) Weibull lifetimes the renewal function
+// starts below λt — new sockets rarely fail early — then approaches the
+// elementary-renewal-theorem slope 1/μ.
+func TestWeibullRenewalShape(t *testing.T) {
+	w := dist.MustWeibull(2, 100, 0)
+	f, err := Compute(w, 1000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := AsymptoticRate(w)
+	// Early: far fewer renewals than the asymptotic line.
+	if got := f.At(30); got > rate*30*0.5 {
+		t.Errorf("early m(30) = %v, want well below %v", got, rate*30)
+	}
+	// Late: slope approaches 1/μ within 5%.
+	slope := (f.At(1000) - f.At(800)) / 200
+	if math.Abs(slope-rate)/rate > 0.05 {
+		t.Errorf("late slope %v, want ~%v", slope, rate)
+	}
+}
+
+// The renewal density of a β > 1 Weibull process oscillates toward 1/μ —
+// crucially it is NOT the component hazard h(t), which grows without
+// bound. This is Ascher's point quoted in §1 of the paper.
+func TestRenewalDensityIsNotHazard(t *testing.T) {
+	w := dist.MustWeibull(2, 100, 0)
+	f, err := Compute(w, 2000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t = 1000 the hazard is 2·1000/100² = 0.2, but the renewal density
+	// is near the asymptotic 1/μ ≈ 0.0113.
+	hazard := w.Hazard(1000)
+	density := f.Density(1000)
+	if density > hazard/5 {
+		t.Errorf("renewal density %v should be far below hazard %v", density, hazard)
+	}
+	if math.Abs(density-AsymptoticRate(w))/AsymptoticRate(w) > 0.1 {
+		t.Errorf("renewal density %v not near 1/μ = %v", density, AsymptoticRate(w))
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	d := dist.MustExponential(1)
+	if _, err := Compute(nil, 10, 1); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := Compute(d, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Compute(d, 10, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Compute(d, 10, 20); err == nil {
+		t.Error("step > horizon accepted")
+	}
+}
+
+func TestAtEdges(t *testing.T) {
+	f, err := Compute(dist.MustExponential(0.1), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.At(-5) != 0 || f.At(0) != 0 {
+		t.Error("m(t<=0) should be 0")
+	}
+	// Clamped beyond the grid.
+	if f.At(1e6) != f.Values[len(f.Values)-1] {
+		t.Error("beyond-grid lookup not clamped")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	f, err := Compute(dist.MustWeibull(1.12, 461386, 0), 87600, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(f.Values); i++ {
+		if f.Values[i] < f.Values[i-1] {
+			t.Fatalf("renewal function decreased at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// LinePlot renders one or more series as an ASCII chart. Series share the
+// x grid; each series gets a distinct marker. It is deliberately simple:
+// the experiments only need the qualitative shape (linear vs super-linear,
+// ordering of curves) to be visible in a terminal.
+type LinePlot struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Width   int // plot columns (default 72)
+	Height  int // plot rows (default 20)
+	x       []float64
+	names   []string
+	series  [][]float64
+	markers string
+}
+
+// NewLinePlot creates a plot over the shared x grid.
+func NewLinePlot(title string, x []float64) *LinePlot {
+	return &LinePlot{
+		Title:   title,
+		Width:   72,
+		Height:  20,
+		x:       x,
+		markers: "*o+x#@%&",
+	}
+}
+
+// Add appends a named series, which must match the x grid length.
+func (p *LinePlot) Add(name string, values []float64) error {
+	if len(values) != len(p.x) {
+		return fmt.Errorf("report: series %q has %d points, x has %d", name, len(values), len(p.x))
+	}
+	p.names = append(p.names, name)
+	p.series = append(p.series, values)
+	return nil
+}
+
+// Render writes the chart to w.
+func (p *LinePlot) Render(w io.Writer) error {
+	if len(p.series) == 0 || len(p.x) < 2 {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	width, height := p.Width, p.Height
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax := p.x[0], p.x[len(p.x)-1]
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for _, v := range s {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		marker := p.markers[si%len(p.markers)]
+		for i := range p.x {
+			col := int(math.Round((p.x[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			grid[height-1-row][col] = marker
+		}
+	}
+	if p.Title != "" {
+		if _, err := fmt.Fprintln(w, p.Title); err != nil {
+			return err
+		}
+	}
+	yAxisW := 12
+	for i, rowBytes := range grid {
+		label := strings.Repeat(" ", yAxisW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*.4g ", yAxisW-1, ymax)
+		case height - 1:
+			label = fmt.Sprintf("%*.4g ", yAxisW-1, ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", yAxisW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%-*.4g%*.4g  (%s)\n",
+		strings.Repeat(" ", yAxisW+1), width/2, xmin, width/2-1, xmax, p.XLabel); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(p.names))
+	for i, n := range p.names {
+		legend = append(legend, fmt.Sprintf("%c %s", p.markers[i%len(p.markers)], n))
+	}
+	_, err := fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, " | "))
+	return err
+}

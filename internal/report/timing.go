@@ -1,0 +1,103 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TimingLane is one drive slot's episode list for a timing diagram.
+type TimingLane struct {
+	Label string
+	// Down lists [start, end) intervals when the drive is failed/being
+	// rebuilt.
+	Down [][2]float64
+	// Defects lists [start, end) intervals when the drive carries an
+	// uncorrected latent defect.
+	Defects [][2]float64
+}
+
+// TimingDiagram renders a Fig.-5-style digital timing diagram: one lane
+// per drive, '█' while the drive is down, '~' while it carries a latent
+// defect, '-' while healthy, with marker rows for group-level events.
+type TimingDiagram struct {
+	Title   string
+	Horizon float64
+	Width   int
+	Lanes   []TimingLane
+	// Marks are group-level instants (e.g. DDFs) drawn on their own row.
+	Marks []TimingMark
+}
+
+// TimingMark is one labelled instant.
+type TimingMark struct {
+	Time  float64
+	Label byte
+}
+
+// Render writes the diagram to w.
+func (d *TimingDiagram) Render(w io.Writer) error {
+	if d.Horizon <= 0 {
+		return fmt.Errorf("report: timing diagram needs positive horizon")
+	}
+	if len(d.Lanes) == 0 {
+		return fmt.Errorf("report: timing diagram needs lanes")
+	}
+	width := d.Width
+	if width < 20 {
+		width = 80
+	}
+	col := func(t float64) int {
+		c := int(t / d.Horizon * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	labelW := 0
+	for _, l := range d.Lanes {
+		if len(l.Label) > labelW {
+			labelW = len(l.Label)
+		}
+	}
+	if d.Title != "" {
+		if _, err := fmt.Fprintln(w, d.Title); err != nil {
+			return err
+		}
+	}
+	for _, lane := range d.Lanes {
+		row := []byte(strings.Repeat("-", width))
+		for _, iv := range lane.Defects {
+			for c := col(iv[0]); c <= col(iv[1]); c++ {
+				row[c] = '~'
+			}
+		}
+		for _, iv := range lane.Down {
+			for c := col(iv[0]); c <= col(iv[1]); c++ {
+				row[c] = '#'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", labelW, lane.Label, row); err != nil {
+			return err
+		}
+	}
+	if len(d.Marks) > 0 {
+		row := []byte(strings.Repeat(" ", width))
+		sorted := make([]TimingMark, len(d.Marks))
+		copy(sorted, d.Marks)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+		for _, m := range sorted {
+			row[col(m.Time)] = m.Label
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", labelW, "events", row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%*s%.0f h   (# down, ~ latent defect, - healthy)\n",
+		labelW, "", width-1, "", d.Horizon)
+	return err
+}

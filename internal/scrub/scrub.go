@@ -1,0 +1,83 @@
+// Package scrub builds time-to-scrub distributions from operational scrub
+// policies. The paper's §6.4: scrubbing is a background pass whose
+// duration has a hard minimum (full-disk read time at the available
+// bandwidth) and a policy-imposed characteristic period; the shape
+// parameter 3 gives the near-normal spread the paper uses.
+package scrub
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/core"
+	"raidrel/internal/hdd"
+)
+
+// Policy describes when latent defects get corrected.
+type Policy struct {
+	// PeriodHours is the characteristic time from defect creation to
+	// correction (the paper sweeps 12/48/168/336). Zero disables
+	// scrubbing.
+	PeriodHours float64
+	// MinHours is the hard minimum full-pass duration; zero derives it
+	// from Drive and ForegroundShare when a drive is given.
+	MinHours float64
+	// Drive optionally derives MinHours from drive geometry.
+	Drive *hdd.Drive
+	// ForegroundShare is the bandwidth consumed by user IO while
+	// scrubbing, [0, 1).
+	ForegroundShare float64
+}
+
+// Disabled returns the no-scrub policy (Table 3's worst row).
+func Disabled() Policy { return Policy{} }
+
+// Periodic returns a policy correcting defects within the given
+// characteristic period.
+func Periodic(hours float64) Policy { return Policy{PeriodHours: hours} }
+
+// Spec lowers the policy to the model's TTScrub Weibull spec and reports
+// whether scrubbing is enabled at all.
+func (p Policy) Spec() (core.WeibullSpec, bool, error) {
+	if p.PeriodHours == 0 {
+		return core.WeibullSpec{}, false, nil
+	}
+	if !(p.PeriodHours > 0) || math.IsInf(p.PeriodHours, 0) {
+		return core.WeibullSpec{}, false, fmt.Errorf("scrub: invalid period %v", p.PeriodHours)
+	}
+	min := p.MinHours
+	if min < 0 || math.IsNaN(min) {
+		return core.WeibullSpec{}, false, fmt.Errorf("scrub: invalid minimum %v", min)
+	}
+	if min == 0 && p.Drive != nil {
+		derived, err := p.Drive.MinScrubHours(p.ForegroundShare)
+		if err != nil {
+			return core.WeibullSpec{}, false, err
+		}
+		min = derived
+	}
+	if min == 0 {
+		min = 6 // the paper's default location
+	}
+	if min >= p.PeriodHours {
+		// A very aggressive policy cannot finish faster than the pass
+		// itself; keep the location strictly below the scale.
+		min = p.PeriodHours / 2
+	}
+	return core.WeibullSpec{Location: min, Scale: p.PeriodHours, Shape: 3}, true, nil
+}
+
+// Apply returns params with the policy installed.
+func (p Policy) Apply(params core.Params) (core.Params, error) {
+	spec, enabled, err := p.Spec()
+	if err != nil {
+		return core.Params{}, err
+	}
+	if !enabled {
+		params.Scrub = false
+		return params, nil
+	}
+	params.Scrub = true
+	params.TTScrub = spec
+	return params, nil
+}

@@ -1,0 +1,89 @@
+package scrub
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/core"
+	"raidrel/internal/hdd"
+)
+
+func TestDisabledPolicy(t *testing.T) {
+	_, enabled, err := Disabled().Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enabled {
+		t.Error("disabled policy enabled")
+	}
+	params, err := Disabled().Apply(core.BaseCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.Scrub {
+		t.Error("Apply left scrub on")
+	}
+}
+
+func TestPeriodicPolicy(t *testing.T) {
+	spec, enabled, err := Periodic(168).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enabled {
+		t.Fatal("periodic policy disabled")
+	}
+	if spec.Scale != 168 || spec.Shape != 3 || spec.Location != 6 {
+		t.Errorf("spec = %+v", spec)
+	}
+	params, err := Periodic(48).Apply(core.BaseCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !params.Scrub || params.TTScrub.Scale != 48 {
+		t.Errorf("applied = %+v", params.TTScrub)
+	}
+	// Model must accept the result.
+	if _, err := core.New(params); err != nil {
+		t.Errorf("model rejected policy params: %v", err)
+	}
+}
+
+func TestAggressivePolicyKeepsLocationBelowScale(t *testing.T) {
+	spec, enabled, err := Periodic(4).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enabled || spec.Location >= spec.Scale {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestDriveDerivedMinimum(t *testing.T) {
+	drive := hdd.SATA500GB
+	p := Policy{PeriodHours: 168, Drive: &drive, ForegroundShare: 0.5}
+	spec, enabled, err := p.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enabled {
+		t.Fatal("disabled")
+	}
+	// 500 GB at 25 MB/s effective = ~5.56 h.
+	want := 500e9 / (50e6 * 0.5) / 3600
+	if math.Abs(spec.Location-want) > 0.01 {
+		t.Errorf("location = %v, want %v", spec.Location, want)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, _, err := (Policy{PeriodHours: -1}).Spec(); err == nil {
+		t.Error("negative period accepted")
+	}
+	if _, _, err := (Policy{PeriodHours: 10, MinHours: -2}).Spec(); err == nil {
+		t.Error("negative minimum accepted")
+	}
+	if _, _, err := (Policy{PeriodHours: math.Inf(1)}).Spec(); err == nil {
+		t.Error("infinite period accepted")
+	}
+}

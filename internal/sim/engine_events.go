@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+
+	"raidrel/internal/rng"
+)
+
+// EventEngine simulates a RAID-group chronology with a discrete-event
+// queue. It is the reference implementation of the DDF semantics; the
+// IntervalEngine cross-validates it.
+type EventEngine struct{}
+
+var _ Engine = EventEngine{}
+
+// slotState is the mutable per-drive-slot state of the event engine.
+type slotState struct {
+	failed     bool
+	restoreEnd float64
+	gen        int
+	defects    map[int64]float64 // defect id -> creation time, current drive only
+}
+
+// Simulate implements Engine.
+func (EventEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
+	return simulateEvents(cfg, r, nil)
+}
+
+// SimulateTraced runs one chronology while streaming every event (drive
+// failures, restores, defect creations and corrections, DDFs) to obs in
+// time order. Pass a *Trace to record the full Fig.-5-style timeline.
+func SimulateTraced(cfg Config, r *rng.RNG, obs Observer) ([]DDF, error) {
+	return simulateEvents(cfg, r, obs)
+}
+
+func simulateEvents(cfg Config, r *rng.RNG, obs Observer) ([]DDF, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	emit := func(e TraceEvent) {
+		if obs != nil {
+			obs.Observe(e)
+		}
+	}
+	slots := make([]slotState, cfg.Drives)
+	for i := range slots {
+		slots[i].defects = make(map[int64]float64, 4)
+	}
+	spares := newSparePool(cfg.Spares)
+	var (
+		q             eventQueue
+		seq, defectID int64
+		ddfs          []DDF
+		suppressUntil float64
+	)
+	push := func(t float64, kind eventKind, slot, gen int, id int64, arg float64) {
+		if t > cfg.Mission {
+			return
+		}
+		seq++
+		heap.Push(&q, &event{time: t, seq: seq, kind: kind, slot: slot, gen: gen, id: id, arg: arg})
+	}
+	scheduleOpFail := func(slot int, from float64) {
+		push(from+cfg.ttopFor(slot).Sample(r), evOpFail, slot, slots[slot].gen, 0, 0)
+	}
+	scheduleDefect := func(slot int, from float64) {
+		if !cfg.Trans.latentEnabled() {
+			return
+		}
+		push(cfg.nextDefect(from, r), evDefectArrive, slot, slots[slot].gen, 0, 0)
+	}
+	for i := 0; i < cfg.Drives; i++ {
+		scheduleOpFail(i, 0)
+		scheduleDefect(i, 0)
+	}
+
+	for q.Len() > 0 {
+		ev, ok := heap.Pop(&q).(*event)
+		if !ok {
+			break
+		}
+		if ev.time > cfg.Mission {
+			break
+		}
+		s := &slots[ev.slot]
+		switch ev.kind {
+		case evOpFail:
+			if ev.gen != s.gen {
+				continue
+			}
+			// DDF determination happens at the instant of the failure,
+			// before this slot's state changes.
+			failedOthers, defectSlot := 0, -1
+			defectStart := math.Inf(1)
+			for k := range slots {
+				if k == ev.slot {
+					continue
+				}
+				o := &slots[k]
+				switch {
+				case o.failed:
+					failedOthers++
+				case len(o.defects) > 0:
+					for _, start := range o.defects {
+						if start < defectStart {
+							defectStart = start
+							defectSlot = k
+						}
+					}
+				}
+			}
+			emit(TraceEvent{Time: ev.time, Kind: TraceOpFail, Slot: ev.slot})
+			// The failure itself: old drive out, replacement in; its data
+			// (and latent defects) are gone, and defect generation on the
+			// replacement starts immediately (write errors during rebuild
+			// are possible but do not themselves constitute a DDF).
+			s.failed = true
+			s.gen++
+			clear(s.defects)
+			// With a finite pool the rebuild waits for a spare to arrive.
+			s.restoreEnd = spares.rebuildStart(ev.time) + cfg.Trans.TTR.Sample(r)
+			push(s.restoreEnd, evOpRestore, ev.slot, s.gen, 0, 0)
+			scheduleDefect(ev.slot, ev.time)
+
+			if ev.time < suppressUntil {
+				// A DDF is already outstanding; no new one until restored.
+				continue
+			}
+			losses := failedOthers
+			hasDefect := defectSlot >= 0
+			switch {
+			case losses >= cfg.Redundancy:
+				ddfs = append(ddfs, DDF{Time: ev.time, Cause: CauseOpOp})
+				suppressUntil = s.restoreEnd
+				emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseOpOp})
+			case losses == cfg.Redundancy-1 && hasDefect:
+				ddfs = append(ddfs, DDF{Time: ev.time, Cause: CauseLdOp})
+				suppressUntil = s.restoreEnd
+				emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseLdOp})
+				// The defective drive is repaired together with the failed
+				// one: its pre-existing defects clear at the same restore.
+				push(s.restoreEnd, evTruncateDefects, defectSlot, slots[defectSlot].gen, 0, ev.time)
+			}
+
+		case evOpRestore:
+			if ev.gen != s.gen {
+				continue
+			}
+			s.failed = false
+			emit(TraceEvent{Time: ev.time, Kind: TraceOpRestore, Slot: ev.slot})
+			// The replacement's operational life is measured from restore
+			// completion (the paper's alternating TTF/TTR chronology).
+			scheduleOpFail(ev.slot, ev.time)
+
+		case evDefectArrive:
+			if ev.gen != s.gen {
+				continue
+			}
+			defectID++
+			s.defects[defectID] = ev.time
+			emit(TraceEvent{Time: ev.time, Kind: TraceDefect, Slot: ev.slot})
+			if cfg.Trans.TTScrub != nil {
+				push(ev.time+cfg.Trans.TTScrub.Sample(r), evDefectClear, ev.slot, s.gen, defectID, 0)
+			}
+			scheduleDefect(ev.slot, ev.time)
+
+		case evDefectClear:
+			if ev.gen != s.gen {
+				continue
+			}
+			if _, ok := s.defects[ev.id]; ok {
+				delete(s.defects, ev.id)
+				emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
+			}
+
+		case evTruncateDefects:
+			if ev.gen != s.gen {
+				continue
+			}
+			for id, start := range s.defects {
+				if start <= ev.arg {
+					delete(s.defects, id)
+					emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
+				}
+			}
+		}
+	}
+	return ddfs, nil
+}

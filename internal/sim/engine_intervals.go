@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"raidrel/internal/rng"
+)
+
+// IntervalEngine is the second, independent implementation of the group
+// chronology, patterned directly on the paper's Fig. 5 timing diagram: each
+// slot's alternating TTF/TTR sequence and defect intervals are laid out
+// first, then the merged failure sequence is swept for DDFs. It must agree
+// statistically with EventEngine; the pair cross-validate in tests.
+type IntervalEngine struct{}
+
+var _ Engine = IntervalEngine{}
+
+// opInterval is one failure episode of a slot: the drive fails at Fail and
+// the replacement is fully restored at RestoreEnd.
+type opInterval struct {
+	Fail, RestoreEnd float64
+}
+
+// defectInterval is one latent defect's lifetime: created at Start,
+// corrected (scrub or drive replacement) at End.
+type defectInterval struct {
+	Start, End float64
+}
+
+// slotChronology is a slot's precomputed timeline.
+type slotChronology struct {
+	ops     []opInterval
+	defects []defectInterval
+}
+
+// Simulate implements Engine.
+func (IntervalEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Spares != nil {
+		return nil, fmt.Errorf("sim: the interval engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
+	}
+	chrons := make([]slotChronology, cfg.Drives)
+	for i := range chrons {
+		chrons[i] = buildSlotChronology(cfg, i, r)
+	}
+
+	// Merge every operational failure, tagged with its slot.
+	type failure struct {
+		slot int
+		op   opInterval
+	}
+	var fails []failure
+	for slot, ch := range chrons {
+		for _, op := range ch.ops {
+			fails = append(fails, failure{slot: slot, op: op})
+		}
+	}
+	sort.Slice(fails, func(i, j int) bool { return fails[i].op.Fail < fails[j].op.Fail })
+
+	var (
+		ddfs          []DDF
+		suppressUntil float64
+	)
+	for _, f := range fails {
+		t := f.op.Fail
+		if t > cfg.Mission {
+			break
+		}
+		if t < suppressUntil {
+			continue
+		}
+		failedOthers := 0
+		defectSlot, defectIdx := -1, -1
+		defectStart := math.Inf(1)
+		for k := range chrons {
+			if k == f.slot {
+				continue
+			}
+			if opFailedAt(chrons[k].ops, t) {
+				failedOthers++
+				continue
+			}
+			for di, d := range chrons[k].defects {
+				if d.Start <= t && t < d.End && d.Start < defectStart {
+					defectStart = d.Start
+					defectSlot, defectIdx = k, di
+				}
+			}
+		}
+		switch {
+		case failedOthers >= cfg.Redundancy:
+			ddfs = append(ddfs, DDF{Time: t, Cause: CauseOpOp})
+			suppressUntil = f.op.RestoreEnd
+		case failedOthers == cfg.Redundancy-1 && defectSlot >= 0:
+			ddfs = append(ddfs, DDF{Time: t, Cause: CauseLdOp})
+			suppressUntil = f.op.RestoreEnd
+			// The defective drive is repaired with the failed one: its
+			// defect ends at the concomitant restore rather than running to
+			// its natural scrub time.
+			if f.op.RestoreEnd < chrons[defectSlot].defects[defectIdx].End {
+				chrons[defectSlot].defects[defectIdx].End = f.op.RestoreEnd
+			}
+		}
+	}
+	return ddfs, nil
+}
+
+// opFailedAt reports whether the slot is inside a failure episode at t.
+// Episodes are chronological and non-overlapping by construction.
+func opFailedAt(ops []opInterval, t float64) bool {
+	i := sort.Search(len(ops), func(i int) bool { return ops[i].Fail > t })
+	return i > 0 && t < ops[i-1].RestoreEnd
+}
+
+// buildSlotChronology lays out one slot's alternating up/down episodes and
+// its defect intervals, mirroring the event engine's semantics: drive
+// generation g runs from its installation (the previous drive's failure
+// time) to its own failure; defects arrive by renewal within that window
+// and end at scrub completion or the drive's own failure, whichever is
+// first.
+func buildSlotChronology(cfg Config, slot int, r *rng.RNG) slotChronology {
+	var ch slotChronology
+	genStart := 0.0 // installation time of the current drive
+	upFrom := 0.0   // operational-clock start of the current drive
+	for {
+		fail := upFrom + cfg.ttopFor(slot).Sample(r)
+		end := fail
+		if end > cfg.Mission {
+			end = cfg.Mission
+		}
+		if cfg.Trans.latentEnabled() {
+			appendDefects(cfg, r, &ch, genStart, end, fail)
+		}
+		if fail > cfg.Mission {
+			break
+		}
+		restore := fail + cfg.Trans.TTR.Sample(r)
+		ch.ops = append(ch.ops, opInterval{Fail: fail, RestoreEnd: restore})
+		genStart = fail
+		upFrom = restore
+		if restore > cfg.Mission {
+			// Defects on the replacement during a rebuild that outlives the
+			// mission cannot affect any in-mission failure check.
+			break
+		}
+	}
+	return ch
+}
+
+// appendDefects renewal-samples defect arrivals on [genStart, windowEnd)
+// and records their lifetimes, truncated at driveFail (the drive's own
+// failure clears its defects).
+func appendDefects(cfg Config, r *rng.RNG, ch *slotChronology, genStart, windowEnd, driveFail float64) {
+	t := genStart
+	for {
+		t = cfg.nextDefect(t, r)
+		if t >= windowEnd {
+			return
+		}
+		end := math.Inf(1)
+		if cfg.Trans.TTScrub != nil {
+			end = t + cfg.Trans.TTScrub.Sample(r)
+		}
+		if end > driveFail {
+			end = driveFail
+		}
+		ch.defects = append(ch.defects, defectInterval{Start: t, End: end})
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import "container/heap"
+
+// eventKind enumerates the event-queue engine's event types.
+type eventKind int
+
+const (
+	evOpFail eventKind = iota + 1
+	evOpRestore
+	evDefectArrive
+	evDefectClear
+	evTruncateDefects
+)
+
+// event is one scheduled occurrence in a group chronology.
+type event struct {
+	time float64
+	seq  int64 // insertion order; deterministic tie-break
+	kind eventKind
+	slot int
+	gen  int     // drive generation the event applies to (staleness guard)
+	id   int64   // defect identifier for evDefectClear
+	arg  float64 // evTruncateDefects: clear defects that started at or before arg
+}
+
+// eventQueue is a min-heap of events ordered by (time, seq).
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// pushEvent and popEvent are typed wrappers over container/heap.
+func pushEvent(q *eventQueue, e *event) { heap.Push(q, e) }
+
+func popEvent(q *eventQueue) *event {
+	e, _ := heap.Pop(q).(*event)
+	return e
+}

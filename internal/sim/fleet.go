@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"raidrel/internal/rng"
+)
+
+// FleetConfig describes several RAID groups operated together — a shelf
+// or rack — optionally drawing replacements from one shared spare pool.
+// Groups are otherwise independent: a DDF requires coincident events
+// within one group.
+type FleetConfig struct {
+	// Groups is the number of RAID groups.
+	Groups int
+	// Group is the per-group configuration. Its own Spares field must be
+	// nil; sparing is fleet-level here.
+	Group Config
+	// SharedSpares optionally bounds the fleet-wide spare pool; nil means
+	// a spare is always available.
+	SharedSpares *SparePolicy
+}
+
+// Validate checks the fleet description.
+func (f FleetConfig) Validate() error {
+	if f.Groups < 1 {
+		return fmt.Errorf("sim: fleet needs >= 1 group, got %d", f.Groups)
+	}
+	if f.Group.Spares != nil {
+		return fmt.Errorf("sim: fleet groups must not carry their own spare pools; use SharedSpares")
+	}
+	if err := f.Group.Validate(); err != nil {
+		return err
+	}
+	return f.SharedSpares.Validate()
+}
+
+// GroupDDFs is one group's data-loss events within a fleet chronology.
+type GroupDDFs struct {
+	Group int
+	DDFs  []DDF
+}
+
+// SimulateFleet runs one chronology of the whole fleet. All groups share
+// the clock and (when configured) the spare pool, so a failure burst in
+// one group can starve another group's rebuild — the coupling a per-group
+// model cannot express.
+func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Group
+	type slotRef struct{ group, slot int }
+	total := cfg.Groups * g.Drives
+	refOf := func(global int) slotRef { return slotRef{group: global / g.Drives, slot: global % g.Drives} }
+
+	slots := make([]slotState, total)
+	for i := range slots {
+		slots[i].defects = make(map[int64]float64, 4)
+	}
+	spares := newSparePool(cfg.SharedSpares)
+	var (
+		q             eventQueue
+		seq, defectID int64
+		out           = make([][]DDF, cfg.Groups)
+		suppressUntil = make([]float64, cfg.Groups)
+	)
+	push := func(t float64, kind eventKind, slot, gen int, id int64, arg float64) {
+		if t > g.Mission {
+			return
+		}
+		seq++
+		pushEvent(&q, &event{time: t, seq: seq, kind: kind, slot: slot, gen: gen, id: id, arg: arg})
+	}
+	scheduleOpFail := func(slot int, from float64) {
+		push(from+g.ttopFor(refOf(slot).slot).Sample(r), evOpFail, slot, slots[slot].gen, 0, 0)
+	}
+	scheduleDefect := func(slot int, from float64) {
+		if !g.Trans.latentEnabled() {
+			return
+		}
+		push(g.nextDefect(from, r), evDefectArrive, slot, slots[slot].gen, 0, 0)
+	}
+	for i := 0; i < total; i++ {
+		scheduleOpFail(i, 0)
+		scheduleDefect(i, 0)
+	}
+
+	for q.Len() > 0 {
+		ev := popEvent(&q)
+		if ev.time > g.Mission {
+			break
+		}
+		s := &slots[ev.slot]
+		ref := refOf(ev.slot)
+		switch ev.kind {
+		case evOpFail:
+			if ev.gen != s.gen {
+				continue
+			}
+			failedOthers, defectSlot := 0, -1
+			defectStart := math.Inf(1)
+			base := ref.group * g.Drives
+			for k := base; k < base+g.Drives; k++ {
+				if k == ev.slot {
+					continue
+				}
+				o := &slots[k]
+				switch {
+				case o.failed:
+					failedOthers++
+				case len(o.defects) > 0:
+					for _, start := range o.defects {
+						if start < defectStart {
+							defectStart = start
+							defectSlot = k
+						}
+					}
+				}
+			}
+			s.failed = true
+			s.gen++
+			clear(s.defects)
+			s.restoreEnd = spares.rebuildStart(ev.time) + g.Trans.TTR.Sample(r)
+			push(s.restoreEnd, evOpRestore, ev.slot, s.gen, 0, 0)
+			scheduleDefect(ev.slot, ev.time)
+			if ev.time < suppressUntil[ref.group] {
+				continue
+			}
+			switch {
+			case failedOthers >= g.Redundancy:
+				out[ref.group] = append(out[ref.group], DDF{Time: ev.time, Cause: CauseOpOp})
+				suppressUntil[ref.group] = s.restoreEnd
+			case failedOthers == g.Redundancy-1 && defectSlot >= 0:
+				out[ref.group] = append(out[ref.group], DDF{Time: ev.time, Cause: CauseLdOp})
+				suppressUntil[ref.group] = s.restoreEnd
+				push(s.restoreEnd, evTruncateDefects, defectSlot, slots[defectSlot].gen, 0, ev.time)
+			}
+
+		case evOpRestore:
+			if ev.gen != s.gen {
+				continue
+			}
+			s.failed = false
+			scheduleOpFail(ev.slot, ev.time)
+
+		case evDefectArrive:
+			if ev.gen != s.gen {
+				continue
+			}
+			defectID++
+			s.defects[defectID] = ev.time
+			if g.Trans.TTScrub != nil {
+				push(ev.time+g.Trans.TTScrub.Sample(r), evDefectClear, ev.slot, s.gen, defectID, 0)
+			}
+			scheduleDefect(ev.slot, ev.time)
+
+		case evDefectClear:
+			if ev.gen != s.gen {
+				continue
+			}
+			delete(s.defects, ev.id)
+
+		case evTruncateDefects:
+			if ev.gen != s.gen {
+				continue
+			}
+			for id, start := range s.defects {
+				if start <= ev.arg {
+					delete(s.defects, id)
+				}
+			}
+		}
+	}
+	result := make([]GroupDDFs, cfg.Groups)
+	for i := range result {
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a].Time < out[i][b].Time })
+		result[i] = GroupDDFs{Group: i, DDFs: out[i]}
+	}
+	return result, nil
+}

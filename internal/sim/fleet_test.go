@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+func TestFleetValidation(t *testing.T) {
+	good := FleetConfig{Groups: 3, Group: fastConfig()}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid fleet rejected: %v", err)
+	}
+	if err := (FleetConfig{Groups: 0, Group: fastConfig()}).Validate(); err == nil {
+		t.Error("zero groups accepted")
+	}
+	bad := fastConfig()
+	bad.Spares = &SparePolicy{Initial: 1}
+	if err := (FleetConfig{Groups: 2, Group: bad}).Validate(); err == nil {
+		t.Error("per-group spares accepted")
+	}
+	withBadPool := FleetConfig{Groups: 2, Group: fastConfig(),
+		SharedSpares: &SparePolicy{Initial: -1}}
+	if err := withBadPool.Validate(); err == nil {
+		t.Error("invalid shared pool accepted")
+	}
+}
+
+// A single-group fleet with unlimited spares must match the plain engine
+// in expectation (sampling order differs, so compare statistics).
+func TestFleetOfOneMatchesEngine(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trans.TTLd = dist.MustExponential(5e-4)
+	cfg.Trans.TTScrub = dist.MustWeibull(3, 168, 6)
+	const iters = 4000
+	single, fleet := 0, 0
+	for i := 0; i < iters; i++ {
+		ddfs, err := (EventEngine{}).Simulate(cfg, rng.ForStream(600, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		single += len(ddfs)
+		groups, err := SimulateFleet(FleetConfig{Groups: 1, Group: cfg}, rng.ForStream(601, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet += len(groups[0].DDFs)
+	}
+	rel := float64(single-fleet) / float64(single)
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.08 {
+		t.Errorf("fleet-of-one disagrees with engine: %d vs %d", fleet, single)
+	}
+}
+
+// Groups in a fleet with unlimited spares are independent: K groups yield
+// ~K times the single-group DDF count.
+func TestFleetScalesLinearlyWithoutSharing(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trans.TTLd = dist.MustExponential(5e-4)
+	cfg.Trans.TTScrub = dist.MustWeibull(3, 168, 6)
+	count := func(groups, iters int, seed uint64) float64 {
+		total := 0
+		for i := 0; i < iters; i++ {
+			res, err := SimulateFleet(FleetConfig{Groups: groups, Group: cfg}, rng.ForStream(seed, uint64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, gr := range res {
+				total += len(gr.DDFs)
+			}
+		}
+		return float64(total) / float64(iters*groups)
+	}
+	perGroup1 := count(1, 3000, 610)
+	perGroup4 := count(4, 750, 611)
+	rel := (perGroup1 - perGroup4) / perGroup1
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.15 {
+		t.Errorf("per-group rate changed with fleet size: %v vs %v", perGroup1, perGroup4)
+	}
+}
+
+// A starved shared pool couples the groups: the fleet suffers more DDFs
+// than the same groups with unlimited spares, and a bigger shared pool
+// recovers monotonically.
+func TestFleetSharedSpareContention(t *testing.T) {
+	cfg := fastConfig()
+	run := func(pool *SparePolicy) int {
+		total := 0
+		for i := 0; i < 1200; i++ {
+			res, err := SimulateFleet(FleetConfig{
+				Groups:       4,
+				Group:        cfg,
+				SharedSpares: pool,
+			}, rng.ForStream(620, uint64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, gr := range res {
+				total += len(gr.DDFs)
+			}
+		}
+		return total
+	}
+	unlimited := run(nil)
+	starved := run(&SparePolicy{Initial: 0, ReplenishHours: 500})
+	stocked := run(&SparePolicy{Initial: 8, ReplenishHours: 500})
+	if starved <= unlimited*2 {
+		t.Errorf("starved shared pool should multiply DDFs: %d vs unlimited %d", starved, unlimited)
+	}
+	if !(unlimited <= stocked && stocked <= starved) {
+		t.Errorf("ordering violated: unlimited=%d stocked=%d starved=%d",
+			unlimited, stocked, starved)
+	}
+}
+
+// Cross-group coincidences never create DDFs: with 2 groups of 2 drives
+// and one drive failing in each group simultaneously-ish, no DDF arises
+// unless the coincidence is within one group.
+func TestFleetDDFsAreGroupLocal(t *testing.T) {
+	cfg := Config{
+		Drives:     2,
+		Redundancy: 1,
+		Mission:    87600,
+		Trans: Transitions{
+			TTOp: dist.MustExponential(5e-4), // hot: overlaps guaranteed
+			TTR:  dist.MustExponential(1e-3), // 1,000 h rebuilds
+		},
+	}
+	sawDDF := false
+	for i := 0; i < 400; i++ {
+		res, err := SimulateFleet(FleetConfig{Groups: 2, Group: cfg}, rng.ForStream(630, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gr := range res {
+			for _, d := range gr.DDFs {
+				sawDDF = true
+				if d.Cause != CauseOpOp {
+					t.Fatalf("no latent defects configured but cause %v", d.Cause)
+				}
+			}
+		}
+	}
+	if !sawDDF {
+		t.Fatal("expected some within-group DDFs at these rates")
+	}
+	// The same fleet, but each group has 1 drive... not expressible (min 2
+	// drives); instead verify chronologies sorted per group.
+	res, err := SimulateFleet(FleetConfig{Groups: 3, Group: cfg}, rng.ForStream(631, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gr := range res {
+		for j := 1; j < len(gr.DDFs); j++ {
+			if gr.DDFs[j].Time < gr.DDFs[j-1].Time {
+				t.Fatal("group DDFs unsorted")
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"raidrel/internal/rng"
+)
+
+// RunSpec describes a Monte Carlo campaign: Iterations independent group
+// chronologies, each equivalent to monitoring one fielded RAID group for
+// the mission (§5: "If 10,000 simulations are needed ... it is equivalent
+// to monitoring the number of DDFs for 10,000 systems over the mission
+// life").
+type RunSpec struct {
+	Config     Config
+	Iterations int
+	Seed       uint64
+	Workers    int    // 0 = GOMAXPROCS
+	Engine     Engine // nil = EventEngine
+}
+
+// RunResult aggregates a campaign.
+type RunResult struct {
+	// PerGroup holds each simulated group's DDF events in chronological
+	// order; len(PerGroup) == Iterations.
+	PerGroup [][]DDF
+	// TotalDDFs is the total event count across groups.
+	TotalDDFs int
+	// OpOpDDFs and LdOpDDFs split the total by cause.
+	OpOpDDFs, LdOpDDFs int
+}
+
+// EventTimes flattens the per-group DDF times into per-system event lists
+// suitable for stats.MCF.
+func (r *RunResult) EventTimes() [][]float64 {
+	out := make([][]float64, len(r.PerGroup))
+	for i, g := range r.PerGroup {
+		ts := make([]float64, len(g))
+		for j, d := range g {
+			ts[j] = d.Time
+		}
+		out[i] = ts
+	}
+	return out
+}
+
+// DDFsBefore counts events at or before t across all groups.
+func (r *RunResult) DDFsBefore(t float64) int {
+	n := 0
+	for _, g := range r.PerGroup {
+		for _, d := range g {
+			if d.Time <= t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Run executes the campaign, fanning iterations across workers with
+// disjoint RNG streams. Results are deterministic for a given (spec, seed,
+// iteration count) regardless of worker count, because stream i is always
+// assigned to iteration i.
+func Run(spec RunSpec) (*RunResult, error) {
+	if err := spec.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Iterations < 1 {
+		return nil, fmt.Errorf("sim: iterations must be >= 1, got %d", spec.Iterations)
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Iterations {
+		workers = spec.Iterations
+	}
+	engine := spec.Engine
+	if engine == nil {
+		engine = EventEngine{}
+	}
+
+	// Iteration i always draws from rng.ForStream(seed, i), so the result
+	// is bit-for-bit identical no matter how many workers run.
+	result := &RunResult{PerGroup: make([][]DDF, spec.Iterations)}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < spec.Iterations; i += workers {
+				ddfs, err := engine.Simulate(spec.Config, rng.ForStream(spec.Seed, uint64(i)))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				result.PerGroup[i] = ddfs
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range result.PerGroup {
+		for _, d := range g {
+			result.TotalDDFs++
+			switch d.Cause {
+			case CauseOpOp:
+				result.OpOpDDFs++
+			case CauseLdOp:
+				result.LdOpDDFs++
+			}
+		}
+	}
+	return result, nil
+}

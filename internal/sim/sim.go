@@ -1,0 +1,194 @@
+// Package sim implements the paper's sequential Monte Carlo simulation of
+// an N+1 RAID group (§5). Each iteration simulates one group's chronology
+// over the mission: every drive slot carries its own time-to-operational-
+// failure, time-to-restore, time-to-latent-defect, and time-to-scrub
+// distributions; the engine detects double-disk failures (DDFs) under the
+// paper's ordering rules:
+//
+//   - two overlapping operational failures are a DDF;
+//   - an operational failure while another drive carries an uncorrected
+//     latent defect is a DDF (defect first, failure second);
+//   - an operational failure followed by a latent defect is NOT a DDF,
+//     nor are multiple coexisting latent defects;
+//   - once a DDF occurs, another cannot occur until the first is restored;
+//   - a DDF involving a defective drive clears that defect at the same
+//     restore time as the concomitant operational failure.
+//
+// Two independent engines implement the same semantics — an event-queue
+// engine and a per-slot interval engine patterned on the paper's Fig. 5
+// timing diagram — and cross-validate each other in tests.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+// Cause discriminates the two double-disk-failure scenarios.
+type Cause int
+
+const (
+	// CauseOpOp is two simultaneous operational failures.
+	CauseOpOp Cause = iota + 1
+	// CauseLdOp is an operational failure striking while another drive
+	// carries an uncorrected latent defect.
+	CauseLdOp
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case CauseOpOp:
+		return "op+op"
+	case CauseLdOp:
+		return "ld+op"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// DDF is one double-disk-failure event in a group chronology.
+type DDF struct {
+	Time  float64 // hours into the mission
+	Cause Cause
+}
+
+// Transitions bundles the four per-drive distributions of the paper's
+// Fig. 4. TTLd may be nil to disable latent defects entirely (the Fig. 6
+// variants); TTScrub may be nil to model a system that never scrubs (the
+// "no scrub" rows of Table 3).
+type Transitions struct {
+	TTOp    dist.Distribution // time to operational failure of a (new) drive
+	TTR     dist.Distribution // time to restore an operational failure
+	TTLd    dist.Distribution // time to the next latent defect on a drive
+	TTScrub dist.Distribution // time from defect creation to scrub correction
+
+	// TTLdRate optionally replaces TTLd with a non-homogeneous Poisson
+	// defect process: arrivals occur with instantaneous rate TTLdRate(t)
+	// defects per drive-hour, t in system time. This models §6.3's usage
+	// dependence dynamically — duty-cycled workloads corrupt data faster
+	// during busy periods. Sampled by thinning against TTLdRateMax, which
+	// must bound the rate over the mission.
+	TTLdRate    func(t float64) float64
+	TTLdRateMax float64
+}
+
+// latentEnabled reports whether any defect process is configured.
+func (t Transitions) latentEnabled() bool {
+	return t.TTLd != nil || t.TTLdRate != nil
+}
+
+// Config describes one simulated RAID group.
+type Config struct {
+	// Drives is the total number of drives in the group (the paper's N+1).
+	Drives int
+	// Redundancy is the number of simultaneous drive losses the group
+	// tolerates: 1 for RAID 4/5 (the paper's subject), 2 for the RAID 6
+	// extension the paper's conclusion anticipates.
+	Redundancy int
+	// Mission is the simulated horizon in hours (the paper uses 87,600).
+	Mission float64
+	// Trans are the per-drive transition distributions.
+	Trans Transitions
+	// SlotTTOp optionally overrides the operational-failure distribution
+	// per drive slot — groups assembled from mixed manufacturing vintages
+	// (Fig. 2) have genuinely heterogeneous drives. When non-nil its
+	// length must equal Drives; nil entries fall back to Trans.TTOp.
+	SlotTTOp []dist.Distribution
+	// Spares optionally bounds the spare-drive pool; nil means a spare is
+	// always on hand (the paper's assumption). Only the event engine
+	// supports finite spares: the pool couples the drive slots, which the
+	// per-slot interval engine cannot express.
+	Spares *SparePolicy
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Drives < 2 {
+		return fmt.Errorf("sim: need >= 2 drives, got %d", c.Drives)
+	}
+	if c.Redundancy < 1 || c.Redundancy >= c.Drives {
+		return fmt.Errorf("sim: redundancy %d invalid for %d drives", c.Redundancy, c.Drives)
+	}
+	if !(c.Mission > 0) || math.IsInf(c.Mission, 0) {
+		return fmt.Errorf("sim: mission must be positive and finite, got %v", c.Mission)
+	}
+	if c.Trans.TTOp == nil {
+		return fmt.Errorf("sim: TTOp distribution is required")
+	}
+	if c.Trans.TTR == nil {
+		return fmt.Errorf("sim: TTR distribution is required")
+	}
+	if c.Trans.TTScrub != nil && !c.Trans.latentEnabled() {
+		return fmt.Errorf("sim: TTScrub set but latent defects disabled (TTLd nil)")
+	}
+	if c.Trans.TTLd != nil && c.Trans.TTLdRate != nil {
+		return fmt.Errorf("sim: TTLd and TTLdRate are mutually exclusive")
+	}
+	if c.Trans.TTLdRate != nil && !(c.Trans.TTLdRateMax > 0) {
+		return fmt.Errorf("sim: TTLdRate needs a positive TTLdRateMax bound")
+	}
+	if c.Trans.TTLdRate == nil && c.Trans.TTLdRateMax != 0 {
+		return fmt.Errorf("sim: TTLdRateMax set without TTLdRate")
+	}
+	if c.SlotTTOp != nil && len(c.SlotTTOp) != c.Drives {
+		return fmt.Errorf("sim: %d slot TTOp overrides for %d drives", len(c.SlotTTOp), c.Drives)
+	}
+	if err := c.Spares.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ttopFor returns the operational-failure distribution for a slot,
+// honouring per-slot overrides.
+func (c Config) ttopFor(slot int) dist.Distribution {
+	if c.SlotTTOp != nil && c.SlotTTOp[slot] != nil {
+		return c.SlotTTOp[slot]
+	}
+	return c.Trans.TTOp
+}
+
+// nextDefect returns the absolute time of the next latent-defect arrival
+// after `from`, or +Inf when the defect process is disabled. The
+// homogeneous case renewal-samples TTLd; the NHPP case thins a Poisson
+// stream at TTLdRateMax against the instantaneous rate.
+func (c Config) nextDefect(from float64, r *rng.RNG) float64 {
+	switch {
+	case c.Trans.TTLdRate != nil:
+		t := from
+		for {
+			t += r.ExpFloat64() / c.Trans.TTLdRateMax
+			if t > c.Mission {
+				return t // beyond the horizon; caller discards
+			}
+			rate := c.Trans.TTLdRate(t)
+			if rate < 0 || rate > c.Trans.TTLdRateMax {
+				// A misbehaving rate function would silently bias the
+				// process; clamp to the declared bound.
+				if rate < 0 {
+					rate = 0
+				} else {
+					rate = c.Trans.TTLdRateMax
+				}
+			}
+			if r.Float64()*c.Trans.TTLdRateMax < rate {
+				return t
+			}
+		}
+	case c.Trans.TTLd != nil:
+		return from + c.Trans.TTLd.Sample(r)
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Engine simulates one RAID-group chronology and returns its DDF events.
+type Engine interface {
+	// Simulate runs one iteration of the group chronology using r and
+	// returns the DDFs in chronological order.
+	Simulate(cfg Config, r *rng.RNG) ([]DDF, error)
+}

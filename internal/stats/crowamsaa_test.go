@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/rng"
+)
+
+// samplePowerLaw draws one system's event times from an NHPP with
+// m(t) = lambda t^beta by inverting the cumulative intensity.
+func samplePowerLaw(lambda, beta, horizon float64, r *rng.RNG) []float64 {
+	var out []float64
+	m := 0.0
+	for {
+		m += r.ExpFloat64()
+		t := math.Pow(m/lambda, 1/beta)
+		if t > horizon {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func TestFitPowerLawRecovery(t *testing.T) {
+	r := rng.New(71)
+	cases := []struct{ lambda, beta float64 }{
+		{0.001, 1.0},
+		{0.0005, 1.3},
+		{0.01, 0.8},
+	}
+	const horizon, systems = 87600.0, 400
+	for _, c := range cases {
+		events := make([][]float64, systems)
+		for i := range events {
+			events[i] = samplePowerLaw(c.lambda, c.beta, horizon, r)
+		}
+		fit, err := FitPowerLaw(events, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Beta-c.beta)/c.beta > 0.05 {
+			t.Errorf("beta = %v, want ~%v", fit.Beta, c.beta)
+		}
+		// The fitted MCF at the horizon should match the true expectation.
+		wantM := c.lambda * math.Pow(horizon, c.beta)
+		if math.Abs(fit.MCFAt(horizon)-wantM)/wantM > 0.1 {
+			t.Errorf("m(T) = %v, want ~%v", fit.MCFAt(horizon), wantM)
+		}
+	}
+}
+
+func TestFitPowerLawValidation(t *testing.T) {
+	if _, err := FitPowerLaw(nil, 100); err == nil {
+		t.Error("no systems accepted")
+	}
+	if _, err := FitPowerLaw([][]float64{{1}}, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := FitPowerLaw([][]float64{{1}}, 100); err == nil {
+		t.Error("single event accepted")
+	}
+	if _, err := FitPowerLaw([][]float64{{1, 200}}, 100); err == nil {
+		t.Error("event beyond horizon accepted")
+	}
+	if _, err := FitPowerLaw([][]float64{{0, 1}}, 100); err == nil {
+		t.Error("zero event time accepted")
+	}
+	if _, err := FitPowerLaw([][]float64{{100, 100}}, 100); err == nil {
+		t.Error("all-at-horizon accepted")
+	}
+}
+
+func TestIntensityShape(t *testing.T) {
+	grow := PowerLawFit{Beta: 1.5, Lambda: 1e-5, Events: 100}
+	if grow.Intensity(1000) >= grow.Intensity(10000) {
+		t.Error("beta > 1 intensity should increase")
+	}
+	improve := PowerLawFit{Beta: 0.7, Lambda: 1e-3, Events: 100}
+	if improve.Intensity(1000) <= improve.Intensity(10000) {
+		t.Error("beta < 1 intensity should decrease")
+	}
+	if grow.MCFAt(-5) != 0 || grow.Intensity(0) != 0 {
+		t.Error("non-positive times should give zero")
+	}
+}
+
+func TestGrowthTestZ(t *testing.T) {
+	r := rng.New(72)
+	const horizon, systems = 87600.0, 300
+	// Deteriorating process: strongly positive z.
+	grow := make([][]float64, systems)
+	for i := range grow {
+		grow[i] = samplePowerLaw(1e-4, 1.4, horizon, r)
+	}
+	gf, err := FitPowerLaw(grow, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := GrowthTestZ(gf); z < 3 {
+		t.Errorf("deteriorating process z = %v, want > 3", z)
+	}
+	// HPP: |z| small most of the time.
+	hpp := make([][]float64, systems)
+	for i := range hpp {
+		hpp[i] = samplePowerLaw(5e-5, 1.0, horizon, r)
+	}
+	hf, err := FitPowerLaw(hpp, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := GrowthTestZ(hf); math.Abs(z) > 3 {
+		t.Errorf("HPP z = %v, want |z| < 3", z)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The mean cumulative function (MCF) is the standard non-parametric estimate
+// of the expected cumulative number of recurrent events per system versus
+// age (Nelson; Trindade & Nathan, the paper's ref. [23]). The paper's Figs.
+// 6-10 are exactly MCF plots: expected DDFs per 1,000 RAID groups versus
+// hours. Its derivative is the rate of occurrence of failures (ROCOF),
+// plotted in Fig. 8.
+
+// MCFPoint is one step of the mean cumulative function.
+type MCFPoint struct {
+	Time float64 // event age, hours
+	MCF  float64 // expected cumulative events per system at Time
+}
+
+// MCF computes the mean cumulative function from per-system event-time
+// lists. All systems are assumed observed for the full window (no
+// staggered entry), which matches the simulator's fixed mission. nSystems
+// must cover every slice in events.
+func MCF(events [][]float64, nSystems int) ([]MCFPoint, error) {
+	if nSystems <= 0 {
+		return nil, fmt.Errorf("stats: MCF needs positive system count, got %d", nSystems)
+	}
+	if len(events) > nSystems {
+		return nil, fmt.Errorf("stats: %d event lists exceed %d systems", len(events), nSystems)
+	}
+	var all []float64
+	for _, sys := range events {
+		all = append(all, sys...)
+	}
+	sort.Float64s(all)
+	out := make([]MCFPoint, 0, len(all))
+	for i, t := range all {
+		if math.IsNaN(t) || t < 0 {
+			return nil, fmt.Errorf("stats: invalid event time %v", t)
+		}
+		out = append(out, MCFPoint{Time: t, MCF: float64(i+1) / float64(nSystems)})
+	}
+	return out, nil
+}
+
+// MCFAt evaluates a step MCF at time t (the value of the most recent step at
+// or before t, zero before the first event).
+func MCFAt(mcf []MCFPoint, t float64) float64 {
+	// Binary search for the last point with Time <= t.
+	i := sort.Search(len(mcf), func(i int) bool { return mcf[i].Time > t })
+	if i == 0 {
+		return 0
+	}
+	return mcf[i-1].MCF
+}
+
+// CumulativeCurve samples a step MCF on an evenly spaced time grid from 0 to
+// horizon with the given number of points (endpoints included). Useful for
+// plotting and for comparing runs on a common grid.
+func CumulativeCurve(mcf []MCFPoint, horizon float64, points int) ([]float64, []float64) {
+	if points < 2 {
+		points = 2
+	}
+	ts := make([]float64, points)
+	vs := make([]float64, points)
+	for i := range ts {
+		ts[i] = horizon * float64(i) / float64(points-1)
+		vs[i] = MCFAt(mcf, ts[i])
+	}
+	return ts, vs
+}
+
+// ROCOFPoint is a windowed rate-of-occurrence-of-failures estimate.
+type ROCOFPoint struct {
+	TimeMid float64 // midpoint of the window, hours
+	Rate    float64 // events per system per hour within the window
+	Count   float64 // expected events per system within the window
+}
+
+// ROCOF estimates the rate of occurrence of failures by differencing the
+// MCF over fixed-width windows covering [0, horizon]. This is the paper's
+// Fig. 8 construction: "the number of DDFs that occur in any fixed time
+// interval".
+func ROCOF(mcf []MCFPoint, horizon, window float64) ([]ROCOFPoint, error) {
+	if window <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("stats: ROCOF needs positive window and horizon")
+	}
+	n := int(math.Ceil(horizon / window))
+	out := make([]ROCOFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		lo := float64(i) * window
+		hi := lo + window
+		if hi > horizon {
+			hi = horizon
+		}
+		d := MCFAt(mcf, hi) - MCFAt(mcf, lo)
+		out = append(out, ROCOFPoint{
+			TimeMid: (lo + hi) / 2,
+			Rate:    d / (hi - lo),
+			Count:   d,
+		})
+	}
+	return out, nil
+}
+
+// IsIncreasingTrend reports whether the sequence of window counts has an
+// increasing trend, judged by comparing the mean of the last half against
+// the first half. Used in tests to verify the non-HPP behaviour the paper
+// demonstrates (increasing ROCOF).
+func IsIncreasingTrend(points []ROCOFPoint) bool {
+	if len(points) < 2 {
+		return false
+	}
+	half := len(points) / 2
+	var first, second float64
+	for i, p := range points {
+		if i < half {
+			first += p.Count
+		} else {
+			second += p.Count
+		}
+	}
+	firstMean := first / float64(half)
+	secondMean := second / float64(len(points)-half)
+	return secondMean > firstMean
+}

@@ -1,0 +1,157 @@
+// Package stats provides the descriptive and repairable-system statistics
+// used to turn Monte Carlo event streams into the paper's tables and
+// figures: summary statistics, empirical CDFs, the mean cumulative function
+// (MCF) for repairable systems, windowed ROCOF estimation, histograms, and
+// bootstrap confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds moments and order statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+}
+
+// Summarize computes summary statistics for the sample. It returns a zero
+// Summary for an empty sample.
+func Summarize(sample []float64) Summary {
+	n := len(sample)
+	if n == 0 {
+		return Summary{}
+	}
+	s := make([]float64, n)
+	copy(s, sample)
+	sort.Float64s(s)
+
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	variance := 0.0
+	if n > 1 {
+		variance = ss / float64(n-1)
+	}
+	return Summary{
+		N:        n,
+		Mean:     mean,
+		Variance: variance,
+		StdDev:   math.Sqrt(variance),
+		Min:      s[0],
+		Max:      s[n-1],
+		Median:   Quantile(s, 0.5),
+	}
+}
+
+// Quantile returns the p-quantile of a sorted sample by linear
+// interpolation. It panics if the sample is empty or unsorted behaviour is
+// undefined; callers sort first.
+func Quantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// ECDFAt returns the empirical CDF of the sample evaluated at x: the
+// fraction of observations <= x.
+func ECDFAt(sample []float64, x float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	count := 0
+	for _, v := range sample {
+		if v <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(sample))
+}
+
+// Histogram bins sample values into nbins equal-width bins over [lo, hi].
+// Values outside the range are clamped into the end bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram builds a histogram of the sample. It returns an error if
+// nbins < 1 or lo >= hi.
+func NewHistogram(sample []float64, lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", nbins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v] invalid", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	width := (hi - lo) / float64(nbins)
+	for _, v := range sample {
+		i := int((v - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h, nil
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Density returns the normalized density estimate for bin i.
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(h.Total) * width)
+}

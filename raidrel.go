@@ -1,0 +1,77 @@
+// Package raidrel estimates the reliability of RAID storage systems with
+// the enhanced model of Elerath & Pecht, "Enhanced Reliability Modeling of
+// RAID Storage Systems" (DSN 2007): per-drive three-parameter Weibull
+// distributions for operational failure, restoration, latent-defect
+// creation, and scrubbing, evaluated by sequential Monte Carlo simulation
+// of double-disk failures (DDFs). It corrects the classical MTTDL
+// method's homogeneous-Poisson assumptions and accounts for silent data
+// corruption.
+//
+// This root package is the stable public facade over the internal
+// implementation packages. Quick start:
+//
+//	model, err := raidrel.New(raidrel.BaseCase())
+//	if err != nil { ... }
+//	res, err := model.Run(10000, 1) // 10,000 RAID groups, seed 1
+//	if err != nil { ... }
+//	fmt.Println(res.DDFsPer1000GroupsAt(87600)) // DDFs per 1,000 groups in 10 years
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every reproduced table and figure.
+package raidrel
+
+import (
+	"raidrel/internal/analytic"
+	"raidrel/internal/core"
+	"raidrel/internal/sim"
+)
+
+// Re-exported model types. The core package defines the implementation;
+// these aliases are the supported public names.
+type (
+	// Params parameterizes a study: group structure, mission, and the four
+	// transition distributions of the paper's Fig. 4.
+	Params = core.Params
+	// WeibullSpec is a three-parameter Weibull in (γ location, η scale,
+	// β shape) form.
+	WeibullSpec = core.WeibullSpec
+	// Model is a validated, runnable study.
+	Model = core.Model
+	// Result aggregates one Monte Carlo campaign.
+	Result = core.Result
+	// MTTDLComparison contrasts the simulation with the MTTDL estimate.
+	MTTDLComparison = core.MTTDLComparison
+	// SparePolicy bounds the spare-drive pool (Params.Spares); nil keeps
+	// the paper's always-available-spare assumption.
+	SparePolicy = sim.SparePolicy
+)
+
+// BaseCase returns the paper's Table 2 base case: an 8-drive RAID 4/5
+// group on a 10-year mission with latent defects and 168-hour scrubbing.
+func BaseCase() Params { return core.BaseCase() }
+
+// New validates params and returns a runnable model.
+func New(p Params) (*Model, error) { return core.New(p) }
+
+// MTTDLInput holds the constant-rate inputs of the classical calculation.
+type MTTDLInput = analytic.MTTDLInput
+
+// MTTDL returns the classical mean time to data loss (the paper's eq. 1)
+// in hours.
+func MTTDL(in MTTDLInput) (float64, error) { return analytic.MTTDL(in) }
+
+// ExpectedDDFs returns the homogeneous-Poisson DDF estimate (eq. 3) for a
+// fleet over a horizon.
+func ExpectedDDFs(in MTTDLInput, hours float64, groups int) (float64, error) {
+	return analytic.ExpectedDDFs(in, hours, groups)
+}
+
+// MTTDLDoubleParity returns the classical RAID 6 approximation
+// MTBF³/(m(m-1)(m-2)·MTTR²) with m = N+2 — as blind to latent defects as
+// equation 1.
+func MTTDLDoubleParity(in MTTDLInput) (float64, error) {
+	return analytic.MTTDLDoubleParity(in)
+}
+
+// HoursPerYear is the paper's 8,760-hour year.
+const HoursPerYear = analytic.HoursPerYear

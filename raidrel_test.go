@@ -1,0 +1,49 @@
+package raidrel_test
+
+import (
+	"math"
+	"testing"
+
+	"raidrel"
+)
+
+// The facade exposes enough to reproduce the paper's headline comparison.
+func TestFacadeEndToEnd(t *testing.T) {
+	p := raidrel.BaseCase()
+	p.MissionHours = 2 * raidrel.HoursPerYear
+	m, err := raidrel.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := res.DDFsPer1000GroupsAt(p.MissionHours)
+	mttdl, err := raidrel.ExpectedDDFs(raidrel.MTTDLInput{
+		N: 7, MTBF: 461386, MTTR: 12,
+	}, p.MissionHours, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated <= 10*mttdl {
+		t.Errorf("simulated %v not >> MTTDL %v", simulated, mttdl)
+	}
+}
+
+func TestFacadeMTTDL(t *testing.T) {
+	m, err := raidrel.MTTDL(raidrel.MTTDLInput{N: 7, MTBF: 461386, MTTR: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m/8760-36162) > 100 {
+		t.Errorf("MTTDL = %v years", m/8760)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	var bad raidrel.Params
+	if _, err := raidrel.New(bad); err == nil {
+		t.Error("zero params accepted")
+	}
+}
