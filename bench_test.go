@@ -6,9 +6,11 @@
 package raidrel_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"raidrel/internal/campaign"
 	"raidrel/internal/core"
 	"raidrel/internal/dist"
 	"raidrel/internal/experiments"
@@ -356,6 +358,95 @@ func benchmarkCodec(b *testing.B, level raid.Level) {
 func BenchmarkRDPEncodeRebuild(b *testing.B) { benchmarkCodec(b, raid.RAID6) }
 
 func BenchmarkRSEncodeRebuild(b *testing.B) { benchmarkCodec(b, raid.RAID6RS) }
+
+// ddfsBeforeResult builds one shared heavy-tail run for the DDFsBefore
+// benchmarks: a no-scrub configuration so tens of thousands of groups
+// carry events.
+func ddfsBeforeResult(b *testing.B) *sim.RunResult {
+	cfg := baseSimConfig()
+	cfg.Trans.TTScrub = nil // no scrub: ~100× more DDFs to index
+	res, err := sim.Run(sim.RunSpec{Config: cfg, Iterations: 20000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.TotalDDFs == 0 {
+		b.Fatal("no events to query")
+	}
+	return res
+}
+
+// ddfsBeforeGrid is the query grid of a typical cumulative-curve render.
+func ddfsBeforeGrid(mission float64) []float64 {
+	grid := make([]float64, 256)
+	for i := range grid {
+		grid[i] = mission * float64(i) / float64(len(grid)-1)
+	}
+	return grid
+}
+
+// BenchmarkDDFsBeforeIndexed measures the binary-search path: the flat
+// sorted event-time slice is built once, each query is O(log E).
+func BenchmarkDDFsBeforeIndexed(b *testing.B) {
+	res := ddfsBeforeResult(b)
+	grid := ddfsBeforeGrid(core.BaseMissionHours)
+	res.DDFsBefore(0) // build the index outside the timed loop
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, t := range grid {
+			sink += res.DDFsBefore(t)
+		}
+	}
+	b.ReportMetric(float64(sink/b.N), "counts_per_op")
+}
+
+// BenchmarkDDFsBeforeScan measures the pre-optimization behaviour — a
+// full per-group scan at every query point — as the comparison baseline.
+func BenchmarkDDFsBeforeScan(b *testing.B) {
+	res := ddfsBeforeResult(b)
+	grid := ddfsBeforeGrid(core.BaseMissionHours)
+	scan := func(t float64) int {
+		n := 0
+		for _, g := range res.PerGroup {
+			for _, d := range g {
+				if d.Time <= t {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, t := range grid {
+			sink += scan(t)
+		}
+	}
+	b.ReportMetric(float64(sink/b.N), "counts_per_op")
+}
+
+// BenchmarkAdaptiveCampaign measures the orchestrator end-to-end: batches
+// until the 95% Wilson CI on the per-group DDF probability reaches a 20%
+// relative half-width on the no-scrub base case.
+func BenchmarkAdaptiveCampaign(b *testing.B) {
+	cfg := baseSimConfig()
+	cfg.Trans.TTScrub = nil
+	var iters int
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(context.Background(), campaign.Spec{
+			Config:       cfg,
+			Seed:         benchOpt.Seed,
+			BatchSize:    500,
+			TargetRelErr: 0.2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "iterations_to_target")
+}
 
 // BenchmarkMarkovComparator measures the uniformization transient solve of
 // the Fig. 4 constant-rate chain — the analysis the Monte Carlo engine

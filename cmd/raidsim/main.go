@@ -1,7 +1,10 @@
 // Command raidsim runs the enhanced RAID reliability model for an
 // arbitrary configuration and prints the cumulative double-disk-failure
 // curve, the cause breakdown, and the comparison against the MTTDL
-// estimate.
+// estimate. Campaigns can be fixed-size (-iterations) or adaptive:
+// -target-rel-err keeps simulating in batches until the confidence
+// interval on the DDF rate is tight enough, -checkpoint/-resume survive
+// kills bit-for-bit, and -progress streams live telemetry to stderr.
 //
 // Usage (all flags optional; defaults are the paper's base case):
 //
@@ -10,27 +13,40 @@
 //	        [-ttr-gamma 6] [-ttr-eta 12] [-ttr-beta 2]
 //	        [-ld-rate 1.08e-4] [-scrub 168]
 //	        [-iterations 10000] [-seed 1] [-csv]
+//	        [-trace]
+//	        [-target-rel-err 0.1] [-confidence 0.95]
+//	        [-max-iterations N] [-max-duration 1h] [-batch 1000]
+//	        [-checkpoint c.json] [-resume c.json] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"raidrel/internal/campaign"
 	"raidrel/internal/core"
 	"raidrel/internal/report"
 	"raidrel/internal/scrub"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Between-batch cancellation: on SIGINT/SIGTERM the campaign loop
+	// finishes its current batch, leaves the checkpoint current, and the
+	// partial summary still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "raidsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("raidsim", flag.ContinueOnError)
 	drives := fs.Int("drives", 8, "drives in the group (N+1)")
 	redundancy := fs.Int("redundancy", 1, "tolerated simultaneous losses (1=RAID5, 2=RAID6)")
@@ -42,10 +58,18 @@ func run(args []string, out io.Writer) error {
 	ttrBeta := fs.Float64("ttr-beta", 2, "TTR shape")
 	ldRate := fs.Float64("ld-rate", 1.08e-4, "latent defects per drive-hour (0 disables)")
 	scrubHours := fs.Float64("scrub", 168, "scrub period, hours (0 disables)")
-	iterations := fs.Int("iterations", 10000, "simulated RAID groups")
+	iterations := fs.Int("iterations", 10000, "simulated RAID groups (fixed-size campaigns)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit the cumulative curve as CSV")
 	trace := fs.Bool("trace", false, "render a single group's Fig.-5 timing diagram instead of a campaign")
+	targetRelErr := fs.Float64("target-rel-err", 0, "adaptive: stop when the DDF-rate CI relative half-width reaches this (0 disables)")
+	confidence := fs.Float64("confidence", 0.95, "adaptive: confidence level for the stopping CI")
+	maxIterations := fs.Int("max-iterations", 0, "adaptive: hard iteration budget (0 = unlimited)")
+	maxDuration := fs.Duration("max-duration", 0, "adaptive: wall-clock budget, e.g. 30m (0 = unlimited)")
+	batch := fs.Int("batch", 0, "adaptive: iterations per batch (0 = default)")
+	checkpoint := fs.String("checkpoint", "", "adaptive: write a resumable checkpoint file after every batch")
+	resume := fs.String("resume", "", "adaptive: restore campaign state from a checkpoint file")
+	progress := fs.Bool("progress", false, "adaptive: stream per-batch telemetry to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,9 +100,41 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := m.Run(*iterations, *seed)
-	if err != nil {
-		return err
+
+	// Any non-zero value routes through the campaign orchestrator, whose
+	// validation rejects nonsense (negative targets, negative budgets)
+	// instead of silently falling back to a fixed-size run.
+	adaptive := *targetRelErr != 0 || *maxIterations != 0 || *maxDuration != 0 ||
+		*checkpoint != "" || *resume != "" || *progress || *batch != 0
+	var res *core.Result
+	var camp *campaign.Result
+	if adaptive {
+		opts := core.AdaptiveOptions{
+			TargetRelErr:  *targetRelErr,
+			Confidence:    *confidence,
+			BatchSize:     *batch,
+			MaxIterations: *maxIterations,
+			MaxDuration:   *maxDuration,
+			Checkpoint:    *checkpoint,
+			Resume:        *resume,
+		}
+		if *progress {
+			opts.Progress = campaign.StderrProgress()
+		}
+		if opts.TargetRelErr == 0 && opts.MaxIterations == 0 && opts.MaxDuration == 0 {
+			// Checkpointing or telemetry on an otherwise fixed-size
+			// campaign: bound it by the -iterations count.
+			opts.MaxIterations = *iterations
+		}
+		ares, err := m.RunAdaptive(ctx, *seed, opts)
+		if err != nil {
+			return err
+		}
+		res, camp = ares.Result, ares.Campaign
+	} else {
+		if res, err = m.Run(*iterations, *seed); err != nil {
+			return err
+		}
 	}
 
 	times, values := res.Curve(21)
@@ -97,6 +153,12 @@ func run(args []string, out io.Writer) error {
 	opop, ldop := res.CauseBreakdown()
 	fmt.Fprintf(out, "\nmission total: %.4g DDFs per 1000 groups (%.4g op+op, %.4g ld+op)\n",
 		values[len(values)-1], opop, ldop)
+	if camp != nil {
+		fmt.Fprintf(out, "campaign:      %d groups in %d batches, stopped: %s\n",
+			camp.Iterations, camp.Batches, camp.Reason)
+		fmt.Fprintf(out, "               p(DDF per group) CI%.0f [%.3g, %.3g], relative half-width %.3g\n",
+			camp.CI.Level*100, camp.CI.Lo, camp.CI.Hi, camp.RelErr)
+	}
 	cmp, err := m.CompareWithMTTDL(res, *mission)
 	if err != nil {
 		return err

@@ -1,13 +1,15 @@
 package main
 
 import (
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunDefaultsReduced(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-iterations", "200"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-iterations", "200"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,7 +22,7 @@ func TestRunDefaultsReduced(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-iterations", "100", "-csv"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-iterations", "100", "-csv"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(sb.String(), "hours,ddfs_per_1000_groups") {
@@ -30,7 +32,7 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunNoLatentDefects(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-iterations", "100", "-ld-rate", "0"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-iterations", "100", "-ld-rate", "0"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "0 ld+op") {
@@ -40,7 +42,7 @@ func TestRunNoLatentDefects(t *testing.T) {
 
 func TestRunRAID6(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-iterations", "100", "-redundancy", "2"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-iterations", "100", "-redundancy", "2"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "redundancy 2") {
@@ -50,7 +52,7 @@ func TestRunRAID6(t *testing.T) {
 
 func TestRunTraceMode(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-trace", "-seed", "3", "-ld-rate", "3e-4"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-trace", "-seed", "3", "-ld-rate", "3e-4"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -63,13 +65,93 @@ func TestRunTraceMode(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-drives", "1"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-drives", "1"}, &sb); err == nil {
 		t.Error("single drive accepted")
 	}
-	if err := run([]string{"-op-beta", "-2"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-op-beta", "-2"}, &sb); err == nil {
 		t.Error("negative shape accepted")
 	}
-	if err := run([]string{"-iterations", "0"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-iterations", "0"}, &sb); err == nil {
 		t.Error("zero iterations accepted")
+	}
+	if err := run(context.Background(), []string{"-target-rel-err", "-0.5"}, &sb); err == nil {
+		t.Error("negative target silently ignored instead of rejected")
+	}
+	if err := run(context.Background(), []string{"-batch", "-5", "-max-iterations", "100"}, &sb); err == nil {
+		t.Error("negative batch size accepted")
+	}
+}
+
+// Adaptive mode with an iteration budget must report the campaign
+// telemetry block alongside the usual outputs.
+func TestRunAdaptiveBudget(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-max-iterations", "400", "-batch", "150", "-target-rel-err", "1e-6",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"campaign:", "400 groups in 3 batches", "iteration budget exhausted",
+		"p(DDF per group) CI95", "MTTDL view",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adaptive output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// -checkpoint alone bounds the campaign by -iterations and leaves a
+// resumable file; -resume picks it up and stops immediately with the
+// same totals.
+func TestRunCheckpointThenResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	var first strings.Builder
+	err := run(context.Background(), []string{
+		"-iterations", "300", "-batch", "100", "-checkpoint", path, "-ld-rate", "3e-4", "-scrub", "0",
+	}, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "300 groups in 3 batches") {
+		t.Fatalf("checkpointed campaign summary wrong:\n%s", first.String())
+	}
+
+	var second strings.Builder
+	err = run(context.Background(), []string{
+		"-iterations", "300", "-batch", "100", "-resume", path, "-ld-rate", "3e-4", "-scrub", "0",
+	}, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "300 groups in 3 batches") {
+		t.Fatalf("resumed campaign summary wrong:\n%s", second.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed output differs from original:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
+// Resuming under a different configuration must fail loudly, not
+// silently mix streams.
+func TestRunResumeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{
+		"-iterations", "100", "-checkpoint", path,
+	}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{
+		"-iterations", "100", "-resume", path, "-seed", "99",
+	}, &sb); err == nil {
+		t.Error("resume with mismatched seed accepted")
+	}
+	if err := run(context.Background(), []string{
+		"-iterations", "100", "-resume", path, "-drives", "9",
+	}, &sb); err == nil {
+		t.Error("resume with mismatched config accepted")
 	}
 }

@@ -1,0 +1,313 @@
+// Package campaign orchestrates adaptive Monte Carlo campaigns on top of
+// internal/sim. DDFs are rare events — the paper's base case yields ~0.27
+// DDFs per 1,000 groups per 10 years — so a fixed iteration count either
+// wastes cycles or returns statistically useless counts. The orchestrator
+// instead runs iterations in batches and, after each batch:
+//
+//  1. computes a Wilson confidence interval on the per-group DDF
+//     probability and stops once a target relative half-width (or an
+//     iteration / wall-clock budget) is reached;
+//  2. writes a versioned JSON checkpoint — per-group results plus the
+//     next RNG stream index — so a killed campaign resumes bit-for-bit
+//     identically (stream i is always assigned to iteration i, so the
+//     worker count and the kill point are both irrelevant);
+//  3. reports progress (iterations/sec, running DDF counts by cause, CI
+//     width, ETA) through a pluggable Progress sink.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"raidrel/internal/sim"
+	"raidrel/internal/stats"
+)
+
+// Default knobs applied by Spec.withDefaults.
+const (
+	// DefaultBatchSize is the iterations-per-batch default: small enough
+	// for responsive progress and tight checkpoints, large enough that
+	// batch overhead (CI computation, checkpoint write) is negligible.
+	DefaultBatchSize = 1000
+	// DefaultConfidence is the CI level used when Spec.Confidence is zero.
+	DefaultConfidence = 0.95
+)
+
+// Spec describes an adaptive campaign.
+type Spec struct {
+	// Config is the simulated RAID-group configuration.
+	Config sim.Config
+	// Seed is the campaign RNG seed; iteration i always draws from
+	// rng.ForStream(Seed, i) regardless of batching, workers, or resume.
+	Seed uint64
+	// Workers is the per-batch parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Engine selects the simulation engine (nil = sim.EventEngine).
+	Engine sim.Engine
+
+	// BatchSize is the number of iterations per batch (0 = DefaultBatchSize).
+	BatchSize int
+	// MinIterations is the floor below which the target-precision rule
+	// never fires, guarding against lucky early stops (0 = one batch).
+	MinIterations int
+
+	// TargetRelErr stops the campaign once the relative half-width of the
+	// CI on the per-group DDF probability drops to this value (e.g. 0.1
+	// for ±10%). Zero disables the precision rule.
+	TargetRelErr float64
+	// Confidence is the CI level for the stopping rule and reports
+	// (0 = DefaultConfidence).
+	Confidence float64
+	// MaxIterations is a hard iteration budget (0 = unlimited).
+	MaxIterations int
+	// MaxDuration is a wall-clock budget for this process, excluding any
+	// time spent by a resumed-from run (0 = unlimited).
+	MaxDuration time.Duration
+
+	// Checkpoint, when non-empty, is a file path written atomically after
+	// every batch so the campaign can be killed and resumed.
+	Checkpoint string
+	// Resume, when non-empty, is a checkpoint file to restore before
+	// running. When Checkpoint is empty, checkpoints continue to be
+	// written to the Resume path.
+	Resume string
+
+	// Progress receives a snapshot after every batch and a final one on
+	// completion (nil = no reporting).
+	Progress Progress
+
+	// now is a test hook for the clock.
+	now func() time.Time
+}
+
+// withDefaults returns a copy of s with zero knobs filled in. Negative
+// knobs are left alone for validate to reject — they signal caller error,
+// not a request for the default.
+func (s Spec) withDefaults() Spec {
+	if s.BatchSize == 0 {
+		s.BatchSize = DefaultBatchSize
+	}
+	if s.MinIterations == 0 {
+		s.MinIterations = s.BatchSize
+	}
+	if s.Confidence == 0 {
+		s.Confidence = DefaultConfidence
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	return s
+}
+
+// validate rejects specs that cannot run or would never stop. Called on
+// the defaulted copy.
+func (s Spec) validate() error {
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if s.TargetRelErr < 0 {
+		return fmt.Errorf("campaign: target relative error %v negative", s.TargetRelErr)
+	}
+	if s.BatchSize < 0 {
+		return fmt.Errorf("campaign: batch size %d negative", s.BatchSize)
+	}
+	if s.MinIterations < 0 {
+		return fmt.Errorf("campaign: min iterations %d negative", s.MinIterations)
+	}
+	if s.MaxDuration < 0 {
+		return fmt.Errorf("campaign: max duration %v negative", s.MaxDuration)
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		return fmt.Errorf("campaign: confidence level %v outside (0,1)", s.Confidence)
+	}
+	if s.MaxIterations < 0 {
+		return fmt.Errorf("campaign: max iterations %d negative", s.MaxIterations)
+	}
+	if s.TargetRelErr == 0 && s.MaxIterations == 0 && s.MaxDuration == 0 {
+		return fmt.Errorf("campaign: no stopping rule (set TargetRelErr, MaxIterations, or MaxDuration)")
+	}
+	return nil
+}
+
+// checkpointPath returns where checkpoints should be written, or "".
+func (s Spec) checkpointPath() string {
+	if s.Checkpoint != "" {
+		return s.Checkpoint
+	}
+	return s.Resume
+}
+
+// StopReason records why a campaign ended.
+type StopReason int
+
+const (
+	// StopNone means the campaign has not stopped.
+	StopNone StopReason = iota
+	// StopTarget: the CI reached the target relative half-width.
+	StopTarget
+	// StopMaxIterations: the iteration budget was exhausted.
+	StopMaxIterations
+	// StopMaxDuration: the wall-clock budget was exhausted.
+	StopMaxDuration
+	// StopCancelled: the context was cancelled; the checkpoint (if any)
+	// reflects every completed batch.
+	StopCancelled
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopNone:
+		return "running"
+	case StopTarget:
+		return "target precision reached"
+	case StopMaxIterations:
+		return "iteration budget exhausted"
+	case StopMaxDuration:
+		return "wall-clock budget exhausted"
+	case StopCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("reason(%d)", int(s))
+	}
+}
+
+// Result aggregates a finished (or cancelled) campaign.
+type Result struct {
+	// Run holds the merged per-group results of every completed batch,
+	// exactly as a single sim.Run of the same iteration count would
+	// return them.
+	Run *sim.RunResult
+	// Iterations is the number of completed iterations (== the next RNG
+	// stream index).
+	Iterations int
+	// Batches is the number of batches executed, including any restored
+	// from a checkpoint.
+	Batches int
+	// GroupsWithDDF counts groups that experienced at least one DDF —
+	// the binomial numerator behind CI.
+	GroupsWithDDF int
+	// CI is the Wilson interval on the per-group DDF probability.
+	CI stats.Interval
+	// RelErr is CI's relative half-width (+Inf until a DDF is seen).
+	RelErr float64
+	// Reason records which stopping rule fired.
+	Reason StopReason
+	// Elapsed is this process's wall-clock time in the campaign loop.
+	Elapsed time.Duration
+	// ResumedFrom is the iteration count restored from a checkpoint
+	// (0 for a fresh campaign).
+	ResumedFrom int
+}
+
+// groupsWithDDF counts groups with at least one event.
+func groupsWithDDF(run *sim.RunResult) int {
+	n := 0
+	for _, g := range run.PerGroup {
+		if len(g) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the campaign until a stopping rule fires or ctx is
+// cancelled. Cancellation is not an error: the partial result is returned
+// with Reason == StopCancelled, and the checkpoint file (if configured)
+// holds every completed batch for a later Resume.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	run := &sim.RunResult{}
+	batches := 0
+	resumedFrom := 0
+	if spec.Resume != "" {
+		restored, restoredBatches, err := loadCheckpoint(spec.Resume, spec)
+		if err != nil {
+			return nil, err
+		}
+		run = restored
+		batches = restoredBatches
+		resumedFrom = len(run.PerGroup)
+	}
+
+	start := spec.now()
+	for {
+		done := len(run.PerGroup)
+		elapsed := spec.now().Sub(start)
+		res := assemble(spec, run, done, batches, resumedFrom, elapsed)
+
+		switch {
+		case ctx.Err() != nil:
+			res.Reason = StopCancelled
+		case spec.TargetRelErr > 0 && done >= spec.MinIterations && res.RelErr <= spec.TargetRelErr:
+			res.Reason = StopTarget
+		case spec.MaxIterations > 0 && done >= spec.MaxIterations:
+			res.Reason = StopMaxIterations
+		case spec.MaxDuration > 0 && done > 0 && elapsed >= spec.MaxDuration:
+			res.Reason = StopMaxDuration
+		}
+		if res.Reason != StopNone {
+			report(spec, res, start, true)
+			return res, nil
+		}
+
+		batch := spec.BatchSize
+		if spec.MaxIterations > 0 && done+batch > spec.MaxIterations {
+			batch = spec.MaxIterations - done
+		}
+		br, err := sim.Run(sim.RunSpec{
+			Config:     spec.Config,
+			Iterations: batch,
+			Seed:       spec.Seed,
+			Workers:    spec.Workers,
+			Engine:     spec.Engine,
+			Offset:     done,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run.Merge(br)
+		batches++
+
+		if path := spec.checkpointPath(); path != "" {
+			if err := saveCheckpoint(path, spec, run, batches); err != nil {
+				return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+			}
+		}
+		report(spec, assemble(spec, run, len(run.PerGroup), batches, resumedFrom, spec.now().Sub(start)), start, false)
+	}
+}
+
+// assemble builds the Result view of the current state.
+func assemble(spec Spec, run *sim.RunResult, done, batches, resumedFrom int, elapsed time.Duration) *Result {
+	res := &Result{
+		Run:         run,
+		Iterations:  done,
+		Batches:     batches,
+		Reason:      StopNone,
+		Elapsed:     elapsed,
+		ResumedFrom: resumedFrom,
+	}
+	res.RelErr = math.Inf(1)
+	if done > 0 {
+		res.GroupsWithDDF = groupsWithDDF(run)
+		ci, err := stats.WilsonCI(res.GroupsWithDDF, done, spec.Confidence)
+		if err == nil {
+			res.CI = ci
+			if res.GroupsWithDDF > 0 {
+				// With zero events the Wilson interval is [0, hi] and its
+				// relative half-width is identically 1 — no information
+				// about the rate at all. Keep RelErr infinite so neither
+				// the stopping rule nor the ETA treats it as progress.
+				res.RelErr = ci.RelativeHalfWidth()
+			}
+		}
+	}
+	return res
+}

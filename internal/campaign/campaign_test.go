@@ -1,0 +1,247 @@
+package campaign
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/sim"
+)
+
+// fastConfig puts the per-group DDF probability near 3% — rare enough
+// that the Wilson interval takes thousands of iterations to tighten
+// (exercising the adaptive loop), frequent enough that tests stay fast.
+func fastConfig() sim.Config {
+	return sim.Config{
+		Drives:     8,
+		Redundancy: 1,
+		Mission:    87600,
+		Trans: sim.Transitions{
+			TTOp: dist.MustExponential(2.5e-5), // MTBF 40,000 h
+			TTR:  dist.MustExponential(1e-1),   // MTTR 10 h
+		},
+	}
+}
+
+func TestRunStopsOnTarget(t *testing.T) {
+	res, err := Run(context.Background(), Spec{
+		Config:       fastConfig(),
+		Seed:         1,
+		BatchSize:    200,
+		TargetRelErr: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopTarget {
+		t.Fatalf("stop reason %v, want %v", res.Reason, StopTarget)
+	}
+	if res.RelErr > 0.3 {
+		t.Errorf("stopped at relative error %v > target 0.3", res.RelErr)
+	}
+	if res.Iterations%200 != 0 || res.Iterations == 0 {
+		t.Errorf("iterations %d not a positive batch multiple", res.Iterations)
+	}
+	if res.Iterations != len(res.Run.PerGroup) {
+		t.Errorf("iterations %d != per-group count %d", res.Iterations, len(res.Run.PerGroup))
+	}
+	if res.CI.Lo >= res.CI.Hi || res.CI.Level != DefaultConfidence {
+		t.Errorf("suspicious CI %+v", res.CI)
+	}
+}
+
+func TestRunStopsOnIterationBudget(t *testing.T) {
+	res, err := Run(context.Background(), Spec{
+		Config:        fastConfig(),
+		Seed:          2,
+		BatchSize:     200,
+		TargetRelErr:  0.001, // unreachable in-budget
+		MaxIterations: 500,   // not a batch multiple: final batch must shrink
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopMaxIterations {
+		t.Fatalf("stop reason %v, want %v", res.Reason, StopMaxIterations)
+	}
+	if res.Iterations != 500 {
+		t.Errorf("iterations %d, want exactly 500", res.Iterations)
+	}
+}
+
+func TestRunBudgetEqualsPlainRun(t *testing.T) {
+	// A budget-only campaign must reproduce sim.Run exactly, whatever the
+	// batch size.
+	const n = 600
+	want, err := sim.Run(sim.RunSpec{Config: fastConfig(), Iterations: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Spec{
+		Config:        fastConfig(),
+		Seed:          5,
+		BatchSize:     170,
+		MaxIterations: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Run.PerGroup, want.PerGroup) {
+		t.Fatal("batched campaign differs from single sim.Run")
+	}
+	if res.Run.TotalDDFs != want.TotalDDFs {
+		t.Fatalf("total DDFs %d != %d", res.Run.TotalDDFs, want.TotalDDFs)
+	}
+}
+
+func TestRunStopsOnWallClock(t *testing.T) {
+	res, err := Run(context.Background(), Spec{
+		Config:      fastConfig(),
+		Seed:        3,
+		BatchSize:   100,
+		MaxDuration: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopMaxDuration {
+		t.Fatalf("stop reason %v, want %v", res.Reason, StopMaxDuration)
+	}
+	if res.Iterations < 100 {
+		t.Errorf("campaign stopped before completing a single batch (%d iterations)", res.Iterations)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var batches int
+	res, err := Run(ctx, Spec{
+		Config:        fastConfig(),
+		Seed:          4,
+		BatchSize:     100,
+		MaxIterations: 1 << 30,
+		Progress: ProgressFunc(func(s Snapshot) {
+			if !s.Done {
+				batches++
+				if batches == 3 {
+					cancel()
+				}
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopCancelled {
+		t.Fatalf("stop reason %v, want %v", res.Reason, StopCancelled)
+	}
+	if res.Iterations != 300 {
+		t.Errorf("cancelled after batch 3 but completed %d iterations, want 300", res.Iterations)
+	}
+}
+
+func TestRunMinIterationsGuard(t *testing.T) {
+	// With a very loose target the first batch would already satisfy the
+	// precision rule; MinIterations must hold the campaign open.
+	res, err := Run(context.Background(), Spec{
+		Config:        fastConfig(),
+		Seed:          6,
+		BatchSize:     100,
+		MinIterations: 700,
+		TargetRelErr:  0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 700 {
+		t.Errorf("stopped at %d iterations, below MinIterations 700", res.Iterations)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Config: fastConfig()}); err == nil {
+		t.Error("spec without any stopping rule accepted")
+	}
+	if _, err := Run(context.Background(), Spec{Config: sim.Config{}, MaxIterations: 10}); err == nil {
+		t.Error("invalid sim config accepted")
+	}
+	if _, err := Run(context.Background(), Spec{
+		Config: fastConfig(), MaxIterations: 10, TargetRelErr: -1,
+	}); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := Run(context.Background(), Spec{
+		Config: fastConfig(), MaxIterations: 10, Confidence: 1.5,
+	}); err == nil {
+		t.Error("confidence outside (0,1) accepted")
+	}
+	if _, err := Run(context.Background(), Spec{
+		Config: fastConfig(), MaxIterations: 10, BatchSize: -5,
+	}); err == nil {
+		t.Error("negative batch size accepted")
+	}
+	if _, err := Run(context.Background(), Spec{
+		Config: fastConfig(), MaxIterations: 10, MaxDuration: -time.Second,
+	}); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestProgressTelemetry(t *testing.T) {
+	var snaps []Snapshot
+	_, err := Run(context.Background(), Spec{
+		Config:        fastConfig(),
+		Seed:          7,
+		BatchSize:     150,
+		MaxIterations: 450,
+		Progress:      ProgressFunc(func(s Snapshot) { snaps = append(snaps, s) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 4 { // 3 batches + final
+		t.Fatalf("got %d snapshots, want 4", len(snaps))
+	}
+	for i, s := range snaps[:3] {
+		if s.Done {
+			t.Errorf("snapshot %d marked done", i)
+		}
+		if s.Iterations != 150*(i+1) {
+			t.Errorf("snapshot %d at %d iterations, want %d", i, s.Iterations, 150*(i+1))
+		}
+		if s.Batches != i+1 {
+			t.Errorf("snapshot %d batches = %d", i, s.Batches)
+		}
+		if s.TotalDDFs != s.OpOpDDFs+s.LdOpDDFs {
+			t.Errorf("snapshot %d cause split %d+%d != total %d", i, s.OpOpDDFs, s.LdOpDDFs, s.TotalDDFs)
+		}
+		if s.GroupsWithDDF > 0 && (s.CI.Lo >= s.CI.Hi || math.IsInf(s.RelErr, 1)) {
+			t.Errorf("snapshot %d has events but no usable CI: %+v", i, s)
+		}
+	}
+	final := snaps[3]
+	if !final.Done || final.Reason != StopMaxIterations {
+		t.Errorf("final snapshot %+v not a proper completion frame", final)
+	}
+	if final.Iterations != 450 {
+		t.Errorf("final snapshot at %d iterations, want 450", final.Iterations)
+	}
+}
+
+func TestWriterProgressFormat(t *testing.T) {
+	var sb strings.Builder
+	p := WriterProgress(&sb)
+	p.Report(Snapshot{Iterations: 1000, Rate: 500, TotalDDFs: 3, OpOpDDFs: 2, LdOpDDFs: 1,
+		GroupsWithDDF: 3, RelErr: 0.5, ETA: 2 * time.Minute})
+	p.Report(Snapshot{Done: true, Reason: StopTarget, Iterations: 1000, Batches: 1})
+	out := sb.String()
+	for _, want := range []string{"1000 iters", "500/s", "2 op+op", "1 ld+op", "eta=2m0s", "target precision reached"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}

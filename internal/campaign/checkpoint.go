@@ -1,0 +1,145 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"raidrel/internal/sim"
+)
+
+// CheckpointVersion is the current on-disk checkpoint format version.
+// Loaders reject other versions rather than guessing.
+const CheckpointVersion = 1
+
+// checkpointEvent is one DDF in flat form: group index within the
+// campaign, event time, and cause. Groups without events are implied by
+// NextStream, which keeps the file small in the rare-event regime where
+// almost every group is empty.
+type checkpointEvent struct {
+	Group int     `json:"g"`
+	Time  float64 `json:"t"`
+	Cause int     `json:"c"`
+}
+
+// checkpointFile is the versioned JSON document written after each batch.
+type checkpointFile struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Seed        uint64 `json:"seed"`
+	// NextStream is the next RNG stream index — equal to the number of
+	// completed iterations, since stream i always drives iteration i.
+	NextStream int `json:"next_stream"`
+	Batches    int `json:"batches"`
+	// Events lists every DDF observed so far, in (group, time) order.
+	Events []checkpointEvent `json:"events"`
+}
+
+// engineName names the effective engine for fingerprinting.
+func engineName(e sim.Engine) string {
+	if e == nil {
+		return fmt.Sprintf("%T", sim.EventEngine{})
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// fingerprint digests the campaign identity — configuration, seed, and
+// engine — so a checkpoint is only ever resumed into the campaign that
+// wrote it. Distribution parameters are captured via their value
+// formatting; a custom NHPP rate function cannot be hashed, so only its
+// presence and declared bound participate.
+func fingerprint(spec Spec) string {
+	cfg := spec.Config
+	h := fnv.New64a()
+	fmt.Fprintf(h, "drives=%d;red=%d;mission=%g;seed=%d;engine=%s;",
+		cfg.Drives, cfg.Redundancy, cfg.Mission, spec.Seed, engineName(spec.Engine))
+	fmt.Fprintf(h, "ttop=%v;ttr=%v;ttld=%v;ttscrub=%v;",
+		cfg.Trans.TTOp, cfg.Trans.TTR, cfg.Trans.TTLd, cfg.Trans.TTScrub)
+	fmt.Fprintf(h, "nhpp=%t;nhppmax=%g;", cfg.Trans.TTLdRate != nil, cfg.Trans.TTLdRateMax)
+	fmt.Fprintf(h, "slots=%v;spares=%v;", cfg.SlotTTOp, cfg.Spares)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// saveCheckpoint atomically writes the campaign state: the document is
+// written to a temporary file in the same directory and renamed over the
+// destination, so a kill mid-write leaves the previous checkpoint intact.
+func saveCheckpoint(path string, spec Spec, run *sim.RunResult, batches int) error {
+	doc := checkpointFile{
+		Version:     CheckpointVersion,
+		Fingerprint: fingerprint(spec),
+		Seed:        spec.Seed,
+		NextStream:  len(run.PerGroup),
+		Batches:     batches,
+		Events:      make([]checkpointEvent, 0, run.TotalDDFs),
+	}
+	for g, events := range run.PerGroup {
+		for _, d := range events {
+			doc.Events = append(doc.Events, checkpointEvent{Group: g, Time: d.Time, Cause: int(d.Cause)})
+		}
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// loadCheckpoint restores the campaign state from path, verifying the
+// format version and that the checkpoint belongs to this (config, seed,
+// engine) before reconstructing per-group results.
+func loadCheckpoint(path string, spec Spec) (*sim.RunResult, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: resume: %w", err)
+	}
+	var doc checkpointFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, 0, fmt.Errorf("campaign: resume %s: %w", path, err)
+	}
+	if doc.Version != CheckpointVersion {
+		return nil, 0, fmt.Errorf("campaign: resume %s: checkpoint version %d, want %d",
+			path, doc.Version, CheckpointVersion)
+	}
+	if want := fingerprint(spec); doc.Fingerprint != want {
+		return nil, 0, fmt.Errorf("campaign: resume %s: checkpoint fingerprint %s does not match campaign %s (config, seed, or engine changed)",
+			path, doc.Fingerprint, want)
+	}
+	if doc.Seed != spec.Seed {
+		return nil, 0, fmt.Errorf("campaign: resume %s: checkpoint seed %d, campaign seed %d",
+			path, doc.Seed, spec.Seed)
+	}
+	if doc.NextStream < 0 {
+		return nil, 0, fmt.Errorf("campaign: resume %s: negative stream index %d", path, doc.NextStream)
+	}
+	run := &sim.RunResult{PerGroup: make([][]sim.DDF, doc.NextStream)}
+	for _, e := range doc.Events {
+		if e.Group < 0 || e.Group >= doc.NextStream {
+			return nil, 0, fmt.Errorf("campaign: resume %s: event group %d outside [0, %d)",
+				path, e.Group, doc.NextStream)
+		}
+		run.PerGroup[e.Group] = append(run.PerGroup[e.Group], sim.DDF{Time: e.Time, Cause: sim.Cause(e.Cause)})
+	}
+	run.Tally()
+	return run, doc.Batches, nil
+}

@@ -1,0 +1,238 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestKillResumeEqualsUninterrupted is the subsystem's core guarantee:
+// a campaign killed partway and resumed from its checkpoint produces the
+// identical DDF counts and CI as the same campaign run uninterrupted.
+func TestKillResumeEqualsUninterrupted(t *testing.T) {
+	// A 15% target needs a few thousand iterations at fastConfig's DDF
+	// probability, so the kill after batch 2 lands genuinely mid-campaign.
+	spec := Spec{
+		Config:       fastConfig(),
+		Seed:         42,
+		BatchSize:    200,
+		TargetRelErr: 0.15,
+	}
+
+	// Reference: the campaign run to completion, no interruption.
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Reason != StopTarget {
+		t.Fatalf("reference campaign stopped for %v, want target", want.Reason)
+	}
+
+	// "Kill" the same campaign after its second batch: cancel the context
+	// from the progress sink, exactly as a SIGINT would between batches.
+	path := filepath.Join(t.TempDir(), "c.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := spec
+	killed.Checkpoint = path
+	batches := 0
+	killed.Progress = ProgressFunc(func(s Snapshot) {
+		if !s.Done {
+			batches++
+			if batches == 2 {
+				cancel()
+			}
+		}
+	})
+	part, err := Run(ctx, killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Reason != StopCancelled {
+		t.Fatalf("killed campaign stopped for %v, want cancelled", part.Reason)
+	}
+	if part.Iterations >= want.Iterations {
+		t.Fatalf("kill point %d not partway through reference %d; test is vacuous",
+			part.Iterations, want.Iterations)
+	}
+
+	// Resume from the checkpoint file and run to completion.
+	resumed := spec
+	resumed.Resume = path
+	got, err := Run(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResumedFrom != part.Iterations {
+		t.Errorf("resumed from %d iterations, checkpoint held %d", got.ResumedFrom, part.Iterations)
+	}
+	if got.Reason != want.Reason || got.Iterations != want.Iterations {
+		t.Fatalf("resumed campaign (%v after %d) differs from uninterrupted (%v after %d)",
+			got.Reason, got.Iterations, want.Reason, want.Iterations)
+	}
+	if got.Run.TotalDDFs != want.Run.TotalDDFs ||
+		got.Run.OpOpDDFs != want.Run.OpOpDDFs ||
+		got.Run.LdOpDDFs != want.Run.LdOpDDFs {
+		t.Errorf("DDF counts differ: resumed (%d,%d,%d) vs uninterrupted (%d,%d,%d)",
+			got.Run.TotalDDFs, got.Run.OpOpDDFs, got.Run.LdOpDDFs,
+			want.Run.TotalDDFs, want.Run.OpOpDDFs, want.Run.LdOpDDFs)
+	}
+	if got.CI != want.CI || got.GroupsWithDDF != want.GroupsWithDDF {
+		t.Errorf("CI differs: resumed %+v (k=%d) vs uninterrupted %+v (k=%d)",
+			got.CI, got.GroupsWithDDF, want.CI, want.GroupsWithDDF)
+	}
+	if !reflect.DeepEqual(got.Run.PerGroup, want.Run.PerGroup) {
+		t.Error("per-group chronologies differ bit-for-bit")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	spec := Spec{
+		Config:        fastConfig(),
+		Seed:          9,
+		BatchSize:     150,
+		MaxIterations: 450,
+		Checkpoint:    path,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, batches, err := loadCheckpoint(path, spec.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != res.Batches {
+		t.Errorf("restored %d batches, want %d", batches, res.Batches)
+	}
+	if !reflect.DeepEqual(restored.PerGroup, res.Run.PerGroup) {
+		t.Error("restored per-group results differ from the live campaign's")
+	}
+	if restored.TotalDDFs != res.Run.TotalDDFs ||
+		restored.OpOpDDFs != res.Run.OpOpDDFs ||
+		restored.LdOpDDFs != res.Run.LdOpDDFs {
+		t.Error("restored tallies differ")
+	}
+
+	// Resuming a finished campaign must stop immediately with the same
+	// result and run zero extra batches.
+	again := spec
+	again.Checkpoint = ""
+	again.Resume = path
+	rerun, err := Run(context.Background(), again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Batches != res.Batches || rerun.Iterations != res.Iterations {
+		t.Errorf("resume of finished campaign reran work: %d batches / %d iters, want %d / %d",
+			rerun.Batches, rerun.Iterations, res.Batches, res.Iterations)
+	}
+	if rerun.Reason != StopMaxIterations {
+		t.Errorf("resume of finished campaign stopped for %v", rerun.Reason)
+	}
+}
+
+func TestResumeRejectsMismatchedCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	spec := Spec{Config: fastConfig(), Seed: 1, BatchSize: 100, MaxIterations: 100, Checkpoint: path}
+	if _, err := Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongSeed := spec
+	wrongSeed.Checkpoint = ""
+	wrongSeed.Resume = path
+	wrongSeed.Seed = 2
+	if _, err := Run(context.Background(), wrongSeed); err == nil {
+		t.Error("resume with a different seed accepted")
+	}
+
+	wrongConfig := spec
+	wrongConfig.Checkpoint = ""
+	wrongConfig.Resume = path
+	wrongConfig.Config.Drives = 9
+	if _, err := Run(context.Background(), wrongConfig); err == nil {
+		t.Error("resume with a different config accepted")
+	}
+}
+
+func TestResumeRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Config: fastConfig(), Seed: 1, MaxIterations: 100}
+
+	missing := spec
+	missing.Resume = filepath.Join(dir, "nope.json")
+	if _, err := Run(context.Background(), missing); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := spec
+	bad.Resume = corrupt
+	if _, err := Run(context.Background(), bad); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+
+	// Future version: loader must refuse rather than guess.
+	futurePath := filepath.Join(dir, "future.json")
+	doc := checkpointFile{Version: CheckpointVersion + 1, Fingerprint: fingerprint(spec.withDefaults()), Seed: 1}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(futurePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := spec
+	future.Resume = futurePath
+	if _, err := Run(context.Background(), future); err == nil {
+		t.Error("future-version checkpoint accepted")
+	}
+}
+
+func TestCheckpointWritesAreAtomic(t *testing.T) {
+	// After every batch the file on disk must parse as a complete
+	// checkpoint — the tmp+rename protocol never exposes partial writes.
+	path := filepath.Join(t.TempDir(), "c.json")
+	seen := 0
+	_, err := Run(context.Background(), Spec{
+		Config:        fastConfig(),
+		Seed:          11,
+		BatchSize:     100,
+		MaxIterations: 300,
+		Checkpoint:    path,
+		Progress: ProgressFunc(func(s Snapshot) {
+			if s.Done {
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("after batch %d: %v", s.Batches, err)
+				return
+			}
+			var doc checkpointFile
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Errorf("after batch %d: unparsable checkpoint: %v", s.Batches, err)
+				return
+			}
+			if doc.NextStream != s.Iterations {
+				t.Errorf("after batch %d: checkpoint next_stream %d != %d iterations",
+					s.Batches, doc.NextStream, s.Iterations)
+			}
+			seen++
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Errorf("verified %d checkpoints, want 3", seen)
+	}
+}

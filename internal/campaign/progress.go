@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"raidrel/internal/stats"
+)
+
+// Snapshot is one telemetry frame, emitted after every batch and once
+// more when the campaign stops.
+type Snapshot struct {
+	// Iterations completed so far (== next RNG stream index).
+	Iterations int
+	// Batches executed so far, including restored ones.
+	Batches int
+	// TotalDDFs, OpOpDDFs, LdOpDDFs are the running event counts by cause.
+	TotalDDFs, OpOpDDFs, LdOpDDFs int
+	// GroupsWithDDF is the binomial numerator of the stopping statistic.
+	GroupsWithDDF int
+	// CI is the current Wilson interval on the per-group DDF probability.
+	CI stats.Interval
+	// RelErr is CI's relative half-width (+Inf until a DDF is seen).
+	RelErr float64
+	// Rate is iterations per second in this process (0 until measurable).
+	Rate float64
+	// Elapsed is wall-clock time in this process's campaign loop.
+	Elapsed time.Duration
+	// ETA estimates the remaining time until some stopping rule fires;
+	// negative when no estimate is possible yet.
+	ETA time.Duration
+	// Done marks the final snapshot; Reason says why the campaign ended.
+	Done   bool
+	Reason StopReason
+}
+
+// Progress receives campaign telemetry. Implementations must tolerate
+// being called from the orchestrator goroutine between batches; a slow
+// sink slows the campaign.
+type Progress interface {
+	Report(Snapshot)
+}
+
+// ProgressFunc adapts a function to the Progress interface.
+type ProgressFunc func(Snapshot)
+
+// Report implements Progress.
+func (f ProgressFunc) Report(s Snapshot) { f(s) }
+
+// report builds a Snapshot from the result view and forwards it.
+func report(spec Spec, res *Result, start time.Time, done bool) {
+	if spec.Progress == nil {
+		return
+	}
+	s := Snapshot{
+		Iterations:    res.Iterations,
+		Batches:       res.Batches,
+		GroupsWithDDF: res.GroupsWithDDF,
+		CI:            res.CI,
+		RelErr:        res.RelErr,
+		Elapsed:       res.Elapsed,
+		ETA:           -1,
+		Done:          done,
+		Reason:        res.Reason,
+	}
+	if res.Run != nil {
+		s.TotalDDFs = res.Run.TotalDDFs
+		s.OpOpDDFs = res.Run.OpOpDDFs
+		s.LdOpDDFs = res.Run.LdOpDDFs
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 && res.Iterations > res.ResumedFrom {
+		s.Rate = float64(res.Iterations-res.ResumedFrom) / secs
+	}
+	if !done {
+		s.ETA = eta(spec, s)
+	} else {
+		s.ETA = 0
+	}
+	spec.Progress.Report(s)
+}
+
+// eta estimates time to the nearest stopping rule, or -1 when unknown.
+// The precision rule scales like 1/√n: reaching target t from relative
+// half-width r at n iterations needs roughly n·(r/t)² total iterations.
+func eta(spec Spec, s Snapshot) time.Duration {
+	best := time.Duration(-1)
+	consider := func(d time.Duration) {
+		if d < 0 {
+			return
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	if s.Rate > 0 {
+		if spec.TargetRelErr > 0 && !math.IsInf(s.RelErr, 1) && s.RelErr > spec.TargetRelErr {
+			ratio := s.RelErr / spec.TargetRelErr
+			needed := float64(s.Iterations) * ratio * ratio
+			consider(time.Duration((needed - float64(s.Iterations)) / s.Rate * float64(time.Second)))
+		}
+		if spec.MaxIterations > 0 {
+			consider(time.Duration(float64(spec.MaxIterations-s.Iterations) / s.Rate * float64(time.Second)))
+		}
+	}
+	if spec.MaxDuration > 0 {
+		consider(spec.MaxDuration - s.Elapsed)
+	}
+	return best
+}
+
+// WriterProgress returns a Progress sink that prints one status line per
+// snapshot to w. It is the default reporter behind raidsim -progress.
+func WriterProgress(w io.Writer) Progress {
+	return ProgressFunc(func(s Snapshot) {
+		if s.Done {
+			fmt.Fprintf(w, "campaign: done (%s): %d iterations in %d batches, %s: %d DDFs (%d op+op, %d ld+op)\n",
+				s.Reason, s.Iterations, s.Batches, s.Elapsed.Round(time.Millisecond),
+				s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs)
+			return
+		}
+		fmt.Fprintf(w, "campaign: %d iters (%.0f/s) ddf=%d (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s eta=%s\n",
+			s.Iterations, s.Rate, s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs,
+			phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), etaString(s.ETA))
+	})
+}
+
+// StderrProgress returns the default reporter writing to standard error.
+func StderrProgress() Progress { return WriterProgress(os.Stderr) }
+
+func phat(s Snapshot) float64 {
+	if s.Iterations == 0 {
+		return 0
+	}
+	return float64(s.GroupsWithDDF) / float64(s.Iterations)
+}
+
+func relErrString(r float64) string {
+	if math.IsInf(r, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3f", r)
+}
+
+func etaString(d time.Duration) string {
+	if d < 0 {
+		return "unknown"
+	}
+	return d.Round(time.Second).String()
+}

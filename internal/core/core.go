@@ -7,10 +7,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"raidrel/internal/analytic"
+	"raidrel/internal/campaign"
 	"raidrel/internal/dist"
 	"raidrel/internal/sim"
 	"raidrel/internal/stats"
@@ -265,16 +268,93 @@ func (m *Model) Run(iterations int, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mcf, err := stats.MCF(res.EventTimes(), iterations)
+	return m.newResult(res, iterations)
+}
+
+// newResult wraps a raw run in the derived-statistics view.
+func (m *Model) newResult(res *sim.RunResult, groups int) (*Result, error) {
+	mcf, err := stats.MCF(res.EventTimes(), groups)
 	if err != nil {
 		return nil, fmt.Errorf("core: mcf: %w", err)
 	}
 	return &Result{
-		Groups:  iterations,
+		Groups:  groups,
 		Mission: m.params.MissionHours,
 		Raw:     res,
 		mcf:     mcf,
 	}, nil
+}
+
+// AdaptiveOptions steers Model.RunAdaptive. The zero value is not
+// runnable: at least one stopping rule (TargetRelErr, MaxIterations, or
+// MaxDuration) must be set.
+type AdaptiveOptions struct {
+	// TargetRelErr stops once the Wilson CI on the per-group DDF
+	// probability reaches this relative half-width (e.g. 0.1 for ±10%);
+	// 0 disables the precision rule.
+	TargetRelErr float64
+	// Confidence is the CI level (0 = 0.95).
+	Confidence float64
+	// BatchSize is iterations per batch (0 = campaign.DefaultBatchSize).
+	BatchSize int
+	// MinIterations guards against lucky early stops (0 = one batch).
+	MinIterations int
+	// MaxIterations is a hard iteration budget (0 = unlimited).
+	MaxIterations int
+	// MaxDuration is a wall-clock budget (0 = unlimited).
+	MaxDuration time.Duration
+	// Checkpoint, when set, is written atomically after every batch.
+	Checkpoint string
+	// Resume, when set, restores a checkpoint before running; further
+	// checkpoints go to the same path unless Checkpoint overrides it.
+	Resume string
+	// Workers is per-batch parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Progress receives telemetry after each batch (nil = silent).
+	Progress campaign.Progress
+}
+
+// AdaptiveResult couples the usual derived-statistics view with the
+// campaign telemetry (iteration count, CI, stopping reason).
+type AdaptiveResult struct {
+	*Result
+	Campaign *campaign.Result
+}
+
+// RunAdaptive runs an adaptively sized Monte Carlo campaign: batches of
+// iterations until the DDF-rate confidence interval is tight enough or a
+// budget runs out, with optional checkpoint/resume and progress
+// telemetry. Results are bit-for-bit identical to Model.Run at the same
+// final iteration count — batching, worker count, and resume points do
+// not perturb the RNG stream assignment.
+func (m *Model) RunAdaptive(ctx context.Context, seed uint64, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	cres, err := campaign.Run(ctx, campaign.Spec{
+		Config:        m.cfg,
+		Seed:          seed,
+		Workers:       opts.Workers,
+		BatchSize:     opts.BatchSize,
+		MinIterations: opts.MinIterations,
+		TargetRelErr:  opts.TargetRelErr,
+		Confidence:    opts.Confidence,
+		MaxIterations: opts.MaxIterations,
+		MaxDuration:   opts.MaxDuration,
+		Checkpoint:    opts.Checkpoint,
+		Resume:        opts.Resume,
+		Progress:      opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cres.Iterations == 0 {
+		// Cancelled before the first batch finished: there is no sample
+		// to build statistics from.
+		return nil, fmt.Errorf("core: adaptive campaign cancelled before any iterations completed")
+	}
+	res, err := m.newResult(cres.Run, cres.Iterations)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveResult{Result: res, Campaign: cres}, nil
 }
 
 // Result aggregates one Monte Carlo campaign.

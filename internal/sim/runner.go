@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"raidrel/internal/rng"
@@ -19,6 +20,13 @@ type RunSpec struct {
 	Seed       uint64
 	Workers    int    // 0 = GOMAXPROCS
 	Engine     Engine // nil = EventEngine
+
+	// Offset shifts the RNG stream assignment: iteration i of this run
+	// draws from rng.ForStream(Seed, Offset+i). Batched campaigns use it
+	// to continue a run exactly where a previous batch left off — running
+	// [0,k) then [k,n) with Offset k concatenates to the same per-group
+	// results as one run of n iterations.
+	Offset int
 }
 
 // RunResult aggregates a campaign.
@@ -30,6 +38,11 @@ type RunResult struct {
 	TotalDDFs int
 	// OpOpDDFs and LdOpDDFs split the total by cause.
 	OpOpDDFs, LdOpDDFs int
+
+	// flatTimes caches the sorted flat event-time slice behind DDFsBefore;
+	// built lazily so manually assembled results work too.
+	flatOnce  sync.Once
+	flatTimes []float64
 }
 
 // EventTimes flattens the per-group DDF times into per-system event lists
@@ -46,29 +59,79 @@ func (r *RunResult) EventTimes() [][]float64 {
 	return out
 }
 
-// DDFsBefore counts events at or before t across all groups.
+// flat returns the sorted slice of all event times across groups, built
+// once. PerGroup must not be mutated after the first DDFsBefore call.
+func (r *RunResult) flat() []float64 {
+	r.flatOnce.Do(func() {
+		n := 0
+		for _, g := range r.PerGroup {
+			n += len(g)
+		}
+		ts := make([]float64, 0, n)
+		for _, g := range r.PerGroup {
+			for _, d := range g {
+				ts = append(ts, d.Time)
+			}
+		}
+		sort.Float64s(ts)
+		r.flatTimes = ts
+	})
+	return r.flatTimes
+}
+
+// DDFsBefore counts events at or before t across all groups. The first
+// call sorts a flat event-time slice; subsequent calls are a binary
+// search, so rendering a cumulative curve is O((E + P) log E) for E events
+// and P query points instead of O(P·E) group scans.
 func (r *RunResult) DDFsBefore(t float64) int {
-	n := 0
+	ts := r.flat()
+	// First index with ts[i] > t == count of events at or before t.
+	return sort.Search(len(ts), func(i int) bool { return ts[i] > t })
+}
+
+// Tally recomputes the aggregate counts from PerGroup — for results
+// assembled by hand, e.g. restored from a campaign checkpoint.
+func (r *RunResult) Tally() {
+	r.TotalDDFs, r.OpOpDDFs, r.LdOpDDFs = 0, 0, 0
 	for _, g := range r.PerGroup {
 		for _, d := range g {
-			if d.Time <= t {
-				n++
+			r.TotalDDFs++
+			switch d.Cause {
+			case CauseOpOp:
+				r.OpOpDDFs++
+			case CauseLdOp:
+				r.LdOpDDFs++
 			}
 		}
 	}
-	return n
+}
+
+// Merge appends another result's groups to r and retallies the counts.
+// Batched campaigns use it to accumulate: merging the results of runs
+// [0,k) and [k,n) (the latter with Offset k) yields exactly the result of
+// a single n-iteration run.
+func (r *RunResult) Merge(other *RunResult) {
+	r.PerGroup = append(r.PerGroup, other.PerGroup...)
+	r.TotalDDFs += other.TotalDDFs
+	r.OpOpDDFs += other.OpOpDDFs
+	r.LdOpDDFs += other.LdOpDDFs
+	r.flatOnce = sync.Once{}
+	r.flatTimes = nil
 }
 
 // Run executes the campaign, fanning iterations across workers with
 // disjoint RNG streams. Results are deterministic for a given (spec, seed,
-// iteration count) regardless of worker count, because stream i is always
-// assigned to iteration i.
+// iteration count) regardless of worker count, because stream Offset+i is
+// always assigned to iteration i.
 func Run(spec RunSpec) (*RunResult, error) {
 	if err := spec.Config.Validate(); err != nil {
 		return nil, err
 	}
 	if spec.Iterations < 1 {
 		return nil, fmt.Errorf("sim: iterations must be >= 1, got %d", spec.Iterations)
+	}
+	if spec.Offset < 0 {
+		return nil, fmt.Errorf("sim: stream offset must be >= 0, got %d", spec.Offset)
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -82,8 +145,8 @@ func Run(spec RunSpec) (*RunResult, error) {
 		engine = EventEngine{}
 	}
 
-	// Iteration i always draws from rng.ForStream(seed, i), so the result
-	// is bit-for-bit identical no matter how many workers run.
+	// Iteration i always draws from rng.ForStream(seed, Offset+i), so the
+	// result is bit-for-bit identical no matter how many workers run.
 	result := &RunResult{PerGroup: make([][]DDF, spec.Iterations)}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -93,7 +156,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := w; i < spec.Iterations; i += workers {
-				ddfs, err := engine.Simulate(spec.Config, rng.ForStream(spec.Seed, uint64(i)))
+				ddfs, err := engine.Simulate(spec.Config, rng.ForStream(spec.Seed, uint64(spec.Offset+i)))
 				if err != nil {
 					errs[w] = err
 					return
@@ -108,16 +171,6 @@ func Run(spec RunSpec) (*RunResult, error) {
 			return nil, err
 		}
 	}
-	for _, g := range result.PerGroup {
-		for _, d := range g {
-			result.TotalDDFs++
-			switch d.Cause {
-			case CauseOpOp:
-				result.OpOpDDFs++
-			case CauseLdOp:
-				result.LdOpDDFs++
-			}
-		}
-	}
+	result.Tally()
 	return result, nil
 }

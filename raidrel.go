@@ -21,7 +21,10 @@
 package raidrel
 
 import (
+	"io"
+
 	"raidrel/internal/analytic"
+	"raidrel/internal/campaign"
 	"raidrel/internal/core"
 	"raidrel/internal/sim"
 )
@@ -45,6 +48,50 @@ type (
 	// the paper's always-available-spare assumption.
 	SparePolicy = sim.SparePolicy
 )
+
+// Adaptive-campaign types (Model.RunAdaptive): DDFs are rare events, so
+// instead of a fixed iteration count the orchestrator runs batches until
+// the Wilson confidence interval on the per-group DDF probability reaches
+// a target relative half-width or a budget runs out, checkpointing after
+// every batch so a killed campaign resumes bit-for-bit identically.
+type (
+	// AdaptiveOptions steers an adaptive campaign: precision target,
+	// budgets, batch size, checkpoint/resume paths, progress sink.
+	AdaptiveOptions = core.AdaptiveOptions
+	// AdaptiveResult couples the usual Result with campaign telemetry.
+	AdaptiveResult = core.AdaptiveResult
+	// CampaignResult is the orchestrator's view: iterations, CI, batches,
+	// stopping reason.
+	CampaignResult = campaign.Result
+	// Progress receives a telemetry Snapshot after every batch.
+	Progress = campaign.Progress
+	// ProgressFunc adapts a function to the Progress interface.
+	ProgressFunc = campaign.ProgressFunc
+	// Snapshot is one telemetry frame: iterations/sec, DDF counts by
+	// cause, CI width, ETA.
+	Snapshot = campaign.Snapshot
+	// StopReason records which stopping rule ended a campaign.
+	StopReason = campaign.StopReason
+)
+
+// Stopping reasons reported in CampaignResult.Reason.
+const (
+	// StopTarget: the CI reached the target relative half-width.
+	StopTarget = campaign.StopTarget
+	// StopMaxIterations: the iteration budget was exhausted.
+	StopMaxIterations = campaign.StopMaxIterations
+	// StopMaxDuration: the wall-clock budget was exhausted.
+	StopMaxDuration = campaign.StopMaxDuration
+	// StopCancelled: the context was cancelled between batches.
+	StopCancelled = campaign.StopCancelled
+)
+
+// StderrProgress returns the default campaign telemetry reporter, writing
+// one status line per batch to standard error.
+func StderrProgress() Progress { return campaign.StderrProgress() }
+
+// WriterProgress returns a campaign telemetry reporter writing to w.
+func WriterProgress(w io.Writer) Progress { return campaign.WriterProgress(w) }
 
 // BaseCase returns the paper's Table 2 base case: an 8-drive RAID 4/5
 // group on a 10-year mission with latent defects and 168-hour scrubbing.

@@ -1,6 +1,7 @@
 package raidrel_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,5 +46,42 @@ func TestFacadeValidation(t *testing.T) {
 	var bad raidrel.Params
 	if _, err := raidrel.New(bad); err == nil {
 		t.Error("zero params accepted")
+	}
+}
+
+// TestFacadeRunAdaptive exercises the adaptive orchestrator through the
+// public API: a budget-bounded campaign with telemetry whose final result
+// matches a plain fixed-size Run of the same iteration count exactly.
+func TestFacadeRunAdaptive(t *testing.T) {
+	p := raidrel.BaseCase()
+	p.MissionHours = 2 * raidrel.HoursPerYear
+	m, err := raidrel.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames int
+	res, err := m.RunAdaptive(context.Background(), 1, raidrel.AdaptiveOptions{
+		BatchSize:     200,
+		MaxIterations: 500,
+		Progress:      raidrel.ProgressFunc(func(s raidrel.Snapshot) { frames++ }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campaign.Reason != raidrel.StopMaxIterations {
+		t.Errorf("stop reason %v, want iteration budget", res.Campaign.Reason)
+	}
+	if res.Campaign.Iterations != 500 || res.Groups != 500 {
+		t.Errorf("iterations %d / groups %d, want 500", res.Campaign.Iterations, res.Groups)
+	}
+	if frames == 0 {
+		t.Error("progress sink never called")
+	}
+	fixed, err := m.Run(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.DDFsPer1000GroupsAt(p.MissionHours), fixed.DDFsPer1000GroupsAt(p.MissionHours); got != want {
+		t.Errorf("adaptive curve %v != fixed-size curve %v at same iteration count", got, want)
 	}
 }
