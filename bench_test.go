@@ -161,8 +161,29 @@ func BenchmarkEngineTimeline(b *testing.B) {
 	cfg := baseSimConfig()
 	engine := sim.EventEngine{}
 	r := rng.New(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Simulate(cfg, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTimelineInto measures the zero-allocation hot path the
+// Monte Carlo workers actually run: one reseeded RNG and one reused DDF
+// buffer per worker, stream i driving iteration i.
+func BenchmarkEngineTimelineInto(b *testing.B) {
+	cfg := baseSimConfig()
+	engine := sim.EventEngine{}
+	var (
+		r   rng.RNG
+		buf []sim.DDF
+		err error
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SeedStream(1, uint64(i))
+		if buf, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -174,11 +195,49 @@ func BenchmarkEngineSequential(b *testing.B) {
 	cfg := baseSimConfig()
 	engine := sim.IntervalEngine{}
 	r := rng.New(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Simulate(cfg, r); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineSequentialInto measures the interval engine's scratch-
+// reusing append path.
+func BenchmarkEngineSequentialInto(b *testing.B) {
+	cfg := baseSimConfig()
+	engine := sim.IntervalEngine{}
+	var (
+		r   rng.RNG
+		buf []sim.DDF
+		err error
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SeedStream(1, uint64(i))
+		if buf, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunSparse measures the full streaming pipeline — workers,
+// in-order merge, sparse accumulation — in iterations per second.
+func BenchmarkRunSparse(b *testing.B) {
+	cfg := baseSimConfig()
+	const iters = 2000
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunSparse(sim.RunSpec{Config: cfg, Iterations: iters, Seed: benchOpt.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalDDFs
+	}
+	b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+	b.ReportMetric(float64(total), "ddfs")
 }
 
 // BenchmarkRAID6Extension measures the redundancy-2 model and reports its

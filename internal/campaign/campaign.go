@@ -176,10 +176,11 @@ func (s StopReason) String() string {
 
 // Result aggregates a finished (or cancelled) campaign.
 type Result struct {
-	// Run holds the merged per-group results of every completed batch,
-	// exactly as a single sim.Run of the same iteration count would
-	// return them.
-	Run *sim.RunResult
+	// Run holds the merged results of every completed batch in sparse
+	// form, exactly as a single sim.RunSparse of the same iteration count
+	// would return them. Memory is O(events), so billion-iteration
+	// rare-event campaigns accumulate in effectively constant space.
+	Run *sim.SparseResult
 	// Iterations is the number of completed iterations (== the next RNG
 	// stream index).
 	Iterations int
@@ -202,17 +203,6 @@ type Result struct {
 	ResumedFrom int
 }
 
-// groupsWithDDF counts groups with at least one event.
-func groupsWithDDF(run *sim.RunResult) int {
-	n := 0
-	for _, g := range run.PerGroup {
-		if len(g) > 0 {
-			n++
-		}
-	}
-	return n
-}
-
 // Run executes the campaign until a stopping rule fires or ctx is
 // cancelled. Cancellation is not an error: the partial result is returned
 // with Reason == StopCancelled, and the checkpoint file (if configured)
@@ -223,7 +213,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 
-	run := &sim.RunResult{}
+	run := &sim.SparseResult{}
 	batches := 0
 	resumedFrom := 0
 	if spec.Resume != "" {
@@ -233,12 +223,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 		run = restored
 		batches = restoredBatches
-		resumedFrom = len(run.PerGroup)
+		resumedFrom = run.Groups
 	}
 
 	start := spec.now()
 	for {
-		done := len(run.PerGroup)
+		done := run.Groups
 		elapsed := spec.now().Sub(start)
 		res := assemble(spec, run, done, batches, resumedFrom, elapsed)
 
@@ -261,7 +251,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		if spec.MaxIterations > 0 && done+batch > spec.MaxIterations {
 			batch = spec.MaxIterations - done
 		}
-		br, err := sim.Run(sim.RunSpec{
+		br, err := sim.RunSparse(sim.RunSpec{
 			Config:     spec.Config,
 			Iterations: batch,
 			Seed:       spec.Seed,
@@ -280,12 +270,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				return nil, fmt.Errorf("campaign: checkpoint: %w", err)
 			}
 		}
-		report(spec, assemble(spec, run, len(run.PerGroup), batches, resumedFrom, spec.now().Sub(start)), start, false)
+		report(spec, assemble(spec, run, run.Groups, batches, resumedFrom, spec.now().Sub(start)), start, false)
 	}
 }
 
 // assemble builds the Result view of the current state.
-func assemble(spec Spec, run *sim.RunResult, done, batches, resumedFrom int, elapsed time.Duration) *Result {
+func assemble(spec Spec, run *sim.SparseResult, done, batches, resumedFrom int, elapsed time.Duration) *Result {
 	res := &Result{
 		Run:         run,
 		Iterations:  done,
@@ -296,7 +286,7 @@ func assemble(spec Spec, run *sim.RunResult, done, batches, resumedFrom int, ela
 	}
 	res.RelErr = math.Inf(1)
 	if done > 0 {
-		res.GroupsWithDDF = groupsWithDDF(run)
+		res.GroupsWithDDF = run.GroupsWithDDF()
 		ci, err := stats.WilsonCI(res.GroupsWithDDF, done, spec.Confidence)
 		if err == nil {
 			res.CI = ci

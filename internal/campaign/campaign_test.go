@@ -46,8 +46,8 @@ func TestRunStopsOnTarget(t *testing.T) {
 	if res.Iterations%200 != 0 || res.Iterations == 0 {
 		t.Errorf("iterations %d not a positive batch multiple", res.Iterations)
 	}
-	if res.Iterations != len(res.Run.PerGroup) {
-		t.Errorf("iterations %d != per-group count %d", res.Iterations, len(res.Run.PerGroup))
+	if res.Iterations != res.Run.Groups {
+		t.Errorf("iterations %d != group count %d", res.Iterations, res.Run.Groups)
 	}
 	if res.CI.Lo >= res.CI.Hi || res.CI.Level != DefaultConfidence {
 		t.Errorf("suspicious CI %+v", res.CI)
@@ -74,10 +74,10 @@ func TestRunStopsOnIterationBudget(t *testing.T) {
 }
 
 func TestRunBudgetEqualsPlainRun(t *testing.T) {
-	// A budget-only campaign must reproduce sim.Run exactly, whatever the
-	// batch size.
+	// A budget-only campaign must reproduce sim.RunSparse exactly,
+	// whatever the batch size.
 	const n = 600
-	want, err := sim.Run(sim.RunSpec{Config: fastConfig(), Iterations: n, Seed: 5})
+	want, err := sim.RunSparse(sim.RunSpec{Config: fastConfig(), Iterations: n, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +90,8 @@ func TestRunBudgetEqualsPlainRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res.Run.PerGroup, want.PerGroup) {
-		t.Fatal("batched campaign differs from single sim.Run")
+	if res.Run.Groups != want.Groups || !reflect.DeepEqual(res.Run.Events, want.Events) {
+		t.Fatal("batched campaign differs from single sim.RunSparse")
 	}
 	if res.Run.TotalDDFs != want.TotalDDFs {
 		t.Fatalf("total DDFs %d != %d", res.Run.TotalDDFs, want.TotalDDFs)

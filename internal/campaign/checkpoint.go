@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -65,19 +66,20 @@ func fingerprint(spec Spec) string {
 // saveCheckpoint atomically writes the campaign state: the document is
 // written to a temporary file in the same directory and renamed over the
 // destination, so a kill mid-write leaves the previous checkpoint intact.
-func saveCheckpoint(path string, spec Spec, run *sim.RunResult, batches int) error {
+// The sparse accumulator and the file share the same representation —
+// events in (group, time) order plus a group count — so encoding is a
+// direct copy.
+func saveCheckpoint(path string, spec Spec, run *sim.SparseResult, batches int) error {
 	doc := checkpointFile{
 		Version:     CheckpointVersion,
 		Fingerprint: fingerprint(spec),
 		Seed:        spec.Seed,
-		NextStream:  len(run.PerGroup),
+		NextStream:  run.Groups,
 		Batches:     batches,
 		Events:      make([]checkpointEvent, 0, run.TotalDDFs),
 	}
-	for g, events := range run.PerGroup {
-		for _, d := range events {
-			doc.Events = append(doc.Events, checkpointEvent{Group: g, Time: d.Time, Cause: int(d.Cause)})
-		}
+	for _, e := range run.Events {
+		doc.Events = append(doc.Events, checkpointEvent{Group: e.Group, Time: e.Time, Cause: int(e.Cause)})
 	}
 	data, err := json.Marshal(doc)
 	if err != nil {
@@ -105,40 +107,66 @@ func saveCheckpoint(path string, spec Spec, run *sim.RunResult, batches int) err
 	return nil
 }
 
-// loadCheckpoint restores the campaign state from path, verifying the
-// format version and that the checkpoint belongs to this (config, seed,
-// engine) before reconstructing per-group results.
-func loadCheckpoint(path string, spec Spec) (*sim.RunResult, int, error) {
+// loadCheckpoint restores the campaign state from path.
+func loadCheckpoint(path string, spec Spec) (*sim.SparseResult, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("campaign: resume: %w", err)
 	}
-	var doc checkpointFile
-	if err := json.Unmarshal(data, &doc); err != nil {
+	run, batches, err := decodeCheckpoint(data, spec)
+	if err != nil {
 		return nil, 0, fmt.Errorf("campaign: resume %s: %w", path, err)
 	}
+	return run, batches, nil
+}
+
+// decodeCheckpoint parses and fully validates a checkpoint document,
+// verifying the format version, that the checkpoint belongs to this
+// (config, seed, engine), and that every event is well-formed — group
+// inside [0, NextStream), time finite and within the mission, cause one of
+// the two defined values, events sorted by (group, time). A corrupted or
+// hand-edited file yields a descriptive error, never a panic or a silently
+// inconsistent accumulator.
+func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
+	var doc checkpointFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, 0, err
+	}
 	if doc.Version != CheckpointVersion {
-		return nil, 0, fmt.Errorf("campaign: resume %s: checkpoint version %d, want %d",
-			path, doc.Version, CheckpointVersion)
+		return nil, 0, fmt.Errorf("checkpoint version %d, want %d", doc.Version, CheckpointVersion)
 	}
 	if want := fingerprint(spec); doc.Fingerprint != want {
-		return nil, 0, fmt.Errorf("campaign: resume %s: checkpoint fingerprint %s does not match campaign %s (config, seed, or engine changed)",
-			path, doc.Fingerprint, want)
+		return nil, 0, fmt.Errorf("checkpoint fingerprint %s does not match campaign %s (config, seed, or engine changed)",
+			doc.Fingerprint, want)
 	}
 	if doc.Seed != spec.Seed {
-		return nil, 0, fmt.Errorf("campaign: resume %s: checkpoint seed %d, campaign seed %d",
-			path, doc.Seed, spec.Seed)
+		return nil, 0, fmt.Errorf("checkpoint seed %d, campaign seed %d", doc.Seed, spec.Seed)
 	}
 	if doc.NextStream < 0 {
-		return nil, 0, fmt.Errorf("campaign: resume %s: negative stream index %d", path, doc.NextStream)
+		return nil, 0, fmt.Errorf("negative stream index %d", doc.NextStream)
 	}
-	run := &sim.RunResult{PerGroup: make([][]sim.DDF, doc.NextStream)}
-	for _, e := range doc.Events {
+	run := &sim.SparseResult{
+		Groups: doc.NextStream,
+		Events: make([]sim.GroupEvent, 0, len(doc.Events)),
+	}
+	for i, e := range doc.Events {
 		if e.Group < 0 || e.Group >= doc.NextStream {
-			return nil, 0, fmt.Errorf("campaign: resume %s: event group %d outside [0, %d)",
-				path, e.Group, doc.NextStream)
+			return nil, 0, fmt.Errorf("event %d: group %d outside [0, %d)", i, e.Group, doc.NextStream)
 		}
-		run.PerGroup[e.Group] = append(run.PerGroup[e.Group], sim.DDF{Time: e.Time, Cause: sim.Cause(e.Cause)})
+		if math.IsNaN(e.Time) || e.Time < 0 || e.Time > spec.Config.Mission {
+			return nil, 0, fmt.Errorf("event %d: time %v outside [0, %v]", i, e.Time, spec.Config.Mission)
+		}
+		c := sim.Cause(e.Cause)
+		if c != sim.CauseOpOp && c != sim.CauseLdOp {
+			return nil, 0, fmt.Errorf("event %d: unknown cause %d", i, e.Cause)
+		}
+		if i > 0 {
+			prev := doc.Events[i-1]
+			if e.Group < prev.Group || (e.Group == prev.Group && e.Time < prev.Time) {
+				return nil, 0, fmt.Errorf("event %d: events not sorted by (group, time)", i)
+			}
+		}
+		run.Events = append(run.Events, sim.GroupEvent{Group: e.Group, DDF: sim.DDF{Time: e.Time, Cause: c}})
 	}
 	run.Tally()
 	return run, doc.Batches, nil

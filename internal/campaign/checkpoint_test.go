@@ -83,7 +83,7 @@ func TestKillResumeEqualsUninterrupted(t *testing.T) {
 		t.Errorf("CI differs: resumed %+v (k=%d) vs uninterrupted %+v (k=%d)",
 			got.CI, got.GroupsWithDDF, want.CI, want.GroupsWithDDF)
 	}
-	if !reflect.DeepEqual(got.Run.PerGroup, want.Run.PerGroup) {
+	if got.Run.Groups != want.Run.Groups || !reflect.DeepEqual(got.Run.Events, want.Run.Events) {
 		t.Error("per-group chronologies differ bit-for-bit")
 	}
 }
@@ -109,8 +109,8 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if batches != res.Batches {
 		t.Errorf("restored %d batches, want %d", batches, res.Batches)
 	}
-	if !reflect.DeepEqual(restored.PerGroup, res.Run.PerGroup) {
-		t.Error("restored per-group results differ from the live campaign's")
+	if restored.Groups != res.Run.Groups || !reflect.DeepEqual(restored.Events, res.Run.Events) {
+		t.Error("restored results differ from the live campaign's")
 	}
 	if restored.TotalDDFs != res.Run.TotalDDFs ||
 		restored.OpOpDDFs != res.Run.OpOpDDFs ||

@@ -260,7 +260,7 @@ func (m *Model) SimConfig() sim.Config { return m.cfg }
 // seed and returns the aggregated result. Iterations is the paper's "RAID
 // groups monitored": 1,000 groups × 10 years in the headline numbers.
 func (m *Model) Run(iterations int, seed uint64) (*Result, error) {
-	res, err := sim.Run(sim.RunSpec{
+	res, err := sim.RunSparse(sim.RunSpec{
 		Config:     m.cfg,
 		Iterations: iterations,
 		Seed:       seed,
@@ -272,8 +272,8 @@ func (m *Model) Run(iterations int, seed uint64) (*Result, error) {
 }
 
 // newResult wraps a raw run in the derived-statistics view.
-func (m *Model) newResult(res *sim.RunResult, groups int) (*Result, error) {
-	mcf, err := stats.MCF(res.EventTimes(), groups)
+func (m *Model) newResult(res *sim.SparseResult, groups int) (*Result, error) {
+	mcf, err := stats.MCFFromTimes(res.Times(), groups)
 	if err != nil {
 		return nil, fmt.Errorf("core: mcf: %w", err)
 	}
@@ -357,11 +357,13 @@ func (m *Model) RunAdaptive(ctx context.Context, seed uint64, opts AdaptiveOptio
 	return &AdaptiveResult{Result: res, Campaign: cres}, nil
 }
 
-// Result aggregates one Monte Carlo campaign.
+// Result aggregates one Monte Carlo campaign. Raw is the sparse event
+// index: only the groups that produced DDFs are materialized, so a
+// million-group campaign costs memory proportional to its (rare) events.
 type Result struct {
 	Groups  int
 	Mission float64
-	Raw     *sim.RunResult
+	Raw     *sim.SparseResult
 	mcf     []stats.MCFPoint
 }
 
@@ -408,19 +410,11 @@ func (r *Result) CauseBreakdown() (opop, ldop float64) {
 
 // ConfidenceInterval returns a normal-approximation confidence interval
 // (e.g. level 0.95) for the DDFs-per-1,000-groups estimate at time t,
-// built from the per-group counts.
+// built from the per-group counts. Only the groups with events are
+// scanned — O(events), not O(groups·events); the event-free groups enter
+// the estimate as exact zeros.
 func (r *Result) ConfidenceInterval(t float64, level float64) (stats.Interval, error) {
-	counts := make([]float64, len(r.Raw.PerGroup))
-	for i, g := range r.Raw.PerGroup {
-		n := 0
-		for _, d := range g {
-			if d.Time <= t {
-				n++
-			}
-		}
-		counts[i] = float64(n)
-	}
-	ci, err := stats.NormalMeanCI(counts, level)
+	ci, err := stats.NormalMeanCISparse(r.Raw.GroupCounts(t), r.Groups, level)
 	if err != nil {
 		return stats.Interval{}, fmt.Errorf("core: confidence interval: %w", err)
 	}

@@ -198,7 +198,7 @@ func Figure8(opt Options) ([]ROCOFSeries, error) {
 			Points:     points,
 			Increasing: stats.IsIncreasingTrend(points),
 		}
-		if fit, err := stats.FitPowerLaw(res.Raw.EventTimes(), core.BaseMissionHours); err == nil {
+		if fit, err := stats.FitPowerLawTimes(res.Raw.Times(), res.Groups, core.BaseMissionHours); err == nil {
 			series.PowerLaw = fit
 			series.GrowthZ = stats.GrowthTestZ(fit)
 		}

@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"raidrel/internal/rng"
 )
@@ -12,118 +12,195 @@ import (
 // IntervalEngine cross-validates it.
 type EventEngine struct{}
 
-var _ Engine = EventEngine{}
+var (
+	_ Engine        = EventEngine{}
+	_ IntoSimulator = EventEngine{}
+)
+
+// defectRec is one live latent defect on a drive, in creation order.
+type defectRec struct {
+	id    int64
+	start float64
+}
 
 // slotState is the mutable per-drive-slot state of the event engine.
 type slotState struct {
 	failed     bool
 	restoreEnd float64
 	gen        int
-	defects    map[int64]float64 // defect id -> creation time, current drive only
+	defects    []defectRec // live defects of the current drive, creation order
 }
 
+// removeDefect deletes the defect with the given id, preserving creation
+// order, and reports whether it was present.
+func (s *slotState) removeDefect(id int64) bool {
+	for i := range s.defects {
+		if s.defects[i].id == id {
+			s.defects = append(s.defects[:i], s.defects[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// eventSim is the reusable scratch state of one event-engine simulation:
+// the event queue's backing array, per-slot state (including each slot's
+// defect list), and the output buffer all persist across iterations, so a
+// warmed-up Monte Carlo worker runs event-free chronologies — the
+// overwhelming majority in the paper's rare-event regime — without a
+// single heap allocation.
+type eventSim struct {
+	cfg    Config
+	r      *rng.RNG
+	obs    Observer
+	spares *sparePool
+
+	slots         []slotState
+	q             eventQueue
+	seq, defectID int64
+	suppressUntil float64
+	ddfs          []DDF
+}
+
+// eventSimPool recycles scratch across SimulateInto calls so that
+// concurrent workers each converge on their own warmed-up state.
+var eventSimPool = sync.Pool{New: func() any { return new(eventSim) }}
+
 // Simulate implements Engine.
-func (EventEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
-	return simulateEvents(cfg, r, nil)
+func (e EventEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
+	return e.SimulateInto(cfg, r, nil)
+}
+
+// SimulateInto implements IntoSimulator: it runs one chronology appending
+// the DDFs to buf (which may be nil) and returns the extended slice. The
+// engine's internal scratch — event queue, slot state, defect lists — is
+// pooled and reused, so the steady-state per-iteration cost of an
+// event-free chronology is zero allocations.
+func (EventEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, error) {
+	s := eventSimPool.Get().(*eventSim)
+	out, err := s.run(cfg, r, nil, buf)
+	s.release()
+	eventSimPool.Put(s)
+	return out, err
 }
 
 // SimulateTraced runs one chronology while streaming every event (drive
 // failures, restores, defect creations and corrections, DDFs) to obs in
 // time order. Pass a *Trace to record the full Fig.-5-style timeline.
 func SimulateTraced(cfg Config, r *rng.RNG, obs Observer) ([]DDF, error) {
-	return simulateEvents(cfg, r, obs)
+	s := eventSimPool.Get().(*eventSim)
+	out, err := s.run(cfg, r, obs, nil)
+	s.release()
+	eventSimPool.Put(s)
+	return out, err
 }
 
-func simulateEvents(cfg Config, r *rng.RNG, obs Observer) ([]DDF, error) {
+// release drops references the scratch must not retain between runs (the
+// caller's RNG, observer, buffer, and the distributions inside cfg) while
+// keeping the reusable backing arrays.
+func (s *eventSim) release() {
+	s.cfg = Config{}
+	s.r, s.obs, s.spares, s.ddfs = nil, nil, nil, nil
+}
+
+func (s *eventSim) emit(e TraceEvent) {
+	if s.obs != nil {
+		s.obs.Observe(e)
+	}
+}
+
+// push schedules an event, discarding anything beyond the mission horizon.
+func (s *eventSim) push(t float64, kind eventKind, slot, gen int, id int64, arg float64) {
+	if t > s.cfg.Mission {
+		return
+	}
+	s.seq++
+	s.q.push(event{time: t, seq: s.seq, kind: kind, slot: slot, gen: gen, id: id, arg: arg})
+}
+
+func (s *eventSim) scheduleOpFail(slot int, from float64) {
+	s.push(from+s.cfg.ttopFor(slot).Sample(s.r), evOpFail, slot, s.slots[slot].gen, 0, 0)
+}
+
+func (s *eventSim) scheduleDefect(slot int, from float64) {
+	if !s.cfg.Trans.latentEnabled() {
+		return
+	}
+	s.push(s.cfg.nextDefect(from, s.r), evDefectArrive, slot, s.slots[slot].gen, 0, 0)
+}
+
+// run executes one chronology, appending DDFs to buf.
+func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return buf, err
 	}
-	emit := func(e TraceEvent) {
-		if obs != nil {
-			obs.Observe(e)
-		}
+	s.cfg, s.r, s.obs = cfg, r, obs
+	if cap(s.slots) < cfg.Drives {
+		s.slots = make([]slotState, cfg.Drives)
+	} else {
+		s.slots = s.slots[:cfg.Drives]
 	}
-	slots := make([]slotState, cfg.Drives)
-	for i := range slots {
-		slots[i].defects = make(map[int64]float64, 4)
+	for i := range s.slots {
+		sl := &s.slots[i]
+		sl.failed, sl.restoreEnd, sl.gen = false, 0, 0
+		sl.defects = sl.defects[:0]
 	}
-	spares := newSparePool(cfg.Spares)
-	var (
-		q             eventQueue
-		seq, defectID int64
-		ddfs          []DDF
-		suppressUntil float64
-	)
-	push := func(t float64, kind eventKind, slot, gen int, id int64, arg float64) {
-		if t > cfg.Mission {
-			return
-		}
-		seq++
-		heap.Push(&q, &event{time: t, seq: seq, kind: kind, slot: slot, gen: gen, id: id, arg: arg})
-	}
-	scheduleOpFail := func(slot int, from float64) {
-		push(from+cfg.ttopFor(slot).Sample(r), evOpFail, slot, slots[slot].gen, 0, 0)
-	}
-	scheduleDefect := func(slot int, from float64) {
-		if !cfg.Trans.latentEnabled() {
-			return
-		}
-		push(cfg.nextDefect(from, r), evDefectArrive, slot, slots[slot].gen, 0, 0)
-	}
+	s.q.reset()
+	s.seq, s.defectID, s.suppressUntil = 0, 0, 0
+	s.spares = newSparePool(cfg.Spares) // nil (no allocation) for the default infinite pool
+	s.ddfs = buf
+
 	for i := 0; i < cfg.Drives; i++ {
-		scheduleOpFail(i, 0)
-		scheduleDefect(i, 0)
+		s.scheduleOpFail(i, 0)
+		s.scheduleDefect(i, 0)
 	}
 
-	for q.Len() > 0 {
-		ev, ok := heap.Pop(&q).(*event)
-		if !ok {
-			break
-		}
+	for s.q.Len() > 0 {
+		ev := s.q.pop()
 		if ev.time > cfg.Mission {
 			break
 		}
-		s := &slots[ev.slot]
+		sl := &s.slots[ev.slot]
 		switch ev.kind {
 		case evOpFail:
-			if ev.gen != s.gen {
+			if ev.gen != sl.gen {
 				continue
 			}
 			// DDF determination happens at the instant of the failure,
 			// before this slot's state changes.
 			failedOthers, defectSlot := 0, -1
 			defectStart := math.Inf(1)
-			for k := range slots {
+			for k := range s.slots {
 				if k == ev.slot {
 					continue
 				}
-				o := &slots[k]
+				o := &s.slots[k]
 				switch {
 				case o.failed:
 					failedOthers++
 				case len(o.defects) > 0:
-					for _, start := range o.defects {
-						if start < defectStart {
-							defectStart = start
+					for _, d := range o.defects {
+						if d.start < defectStart {
+							defectStart = d.start
 							defectSlot = k
 						}
 					}
 				}
 			}
-			emit(TraceEvent{Time: ev.time, Kind: TraceOpFail, Slot: ev.slot})
+			s.emit(TraceEvent{Time: ev.time, Kind: TraceOpFail, Slot: ev.slot})
 			// The failure itself: old drive out, replacement in; its data
 			// (and latent defects) are gone, and defect generation on the
 			// replacement starts immediately (write errors during rebuild
 			// are possible but do not themselves constitute a DDF).
-			s.failed = true
-			s.gen++
-			clear(s.defects)
+			sl.failed = true
+			sl.gen++
+			sl.defects = sl.defects[:0]
 			// With a finite pool the rebuild waits for a spare to arrive.
-			s.restoreEnd = spares.rebuildStart(ev.time) + cfg.Trans.TTR.Sample(r)
-			push(s.restoreEnd, evOpRestore, ev.slot, s.gen, 0, 0)
-			scheduleDefect(ev.slot, ev.time)
+			sl.restoreEnd = s.spares.rebuildStart(ev.time) + cfg.Trans.TTR.Sample(r)
+			s.push(sl.restoreEnd, evOpRestore, ev.slot, sl.gen, 0, 0)
+			s.scheduleDefect(ev.slot, ev.time)
 
-			if ev.time < suppressUntil {
+			if ev.time < s.suppressUntil {
 				// A DDF is already outstanding; no new one until restored.
 				continue
 			}
@@ -131,60 +208,62 @@ func simulateEvents(cfg Config, r *rng.RNG, obs Observer) ([]DDF, error) {
 			hasDefect := defectSlot >= 0
 			switch {
 			case losses >= cfg.Redundancy:
-				ddfs = append(ddfs, DDF{Time: ev.time, Cause: CauseOpOp})
-				suppressUntil = s.restoreEnd
-				emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseOpOp})
+				s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseOpOp})
+				s.suppressUntil = sl.restoreEnd
+				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseOpOp})
 			case losses == cfg.Redundancy-1 && hasDefect:
-				ddfs = append(ddfs, DDF{Time: ev.time, Cause: CauseLdOp})
-				suppressUntil = s.restoreEnd
-				emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseLdOp})
+				s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseLdOp})
+				s.suppressUntil = sl.restoreEnd
+				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseLdOp})
 				// The defective drive is repaired together with the failed
 				// one: its pre-existing defects clear at the same restore.
-				push(s.restoreEnd, evTruncateDefects, defectSlot, slots[defectSlot].gen, 0, ev.time)
+				s.push(sl.restoreEnd, evTruncateDefects, defectSlot, s.slots[defectSlot].gen, 0, ev.time)
 			}
 
 		case evOpRestore:
-			if ev.gen != s.gen {
+			if ev.gen != sl.gen {
 				continue
 			}
-			s.failed = false
-			emit(TraceEvent{Time: ev.time, Kind: TraceOpRestore, Slot: ev.slot})
+			sl.failed = false
+			s.emit(TraceEvent{Time: ev.time, Kind: TraceOpRestore, Slot: ev.slot})
 			// The replacement's operational life is measured from restore
 			// completion (the paper's alternating TTF/TTR chronology).
-			scheduleOpFail(ev.slot, ev.time)
+			s.scheduleOpFail(ev.slot, ev.time)
 
 		case evDefectArrive:
-			if ev.gen != s.gen {
+			if ev.gen != sl.gen {
 				continue
 			}
-			defectID++
-			s.defects[defectID] = ev.time
-			emit(TraceEvent{Time: ev.time, Kind: TraceDefect, Slot: ev.slot})
+			s.defectID++
+			sl.defects = append(sl.defects, defectRec{id: s.defectID, start: ev.time})
+			s.emit(TraceEvent{Time: ev.time, Kind: TraceDefect, Slot: ev.slot})
 			if cfg.Trans.TTScrub != nil {
-				push(ev.time+cfg.Trans.TTScrub.Sample(r), evDefectClear, ev.slot, s.gen, defectID, 0)
+				s.push(ev.time+cfg.Trans.TTScrub.Sample(r), evDefectClear, ev.slot, sl.gen, s.defectID, 0)
 			}
-			scheduleDefect(ev.slot, ev.time)
+			s.scheduleDefect(ev.slot, ev.time)
 
 		case evDefectClear:
-			if ev.gen != s.gen {
+			if ev.gen != sl.gen {
 				continue
 			}
-			if _, ok := s.defects[ev.id]; ok {
-				delete(s.defects, ev.id)
-				emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
+			if sl.removeDefect(ev.id) {
+				s.emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
 			}
 
 		case evTruncateDefects:
-			if ev.gen != s.gen {
+			if ev.gen != sl.gen {
 				continue
 			}
-			for id, start := range s.defects {
-				if start <= ev.arg {
-					delete(s.defects, id)
-					emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
+			kept := sl.defects[:0]
+			for _, d := range sl.defects {
+				if d.start <= ev.arg {
+					s.emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
+				} else {
+					kept = append(kept, d)
 				}
 			}
+			sl.defects = kept
 		}
 	}
-	return ddfs, nil
+	return s.ddfs, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"raidrel/internal/rng"
 )
@@ -15,7 +16,10 @@ import (
 // statistically with EventEngine; the pair cross-validate in tests.
 type IntervalEngine struct{}
 
-var _ Engine = IntervalEngine{}
+var (
+	_ Engine        = IntervalEngine{}
+	_ IntoSimulator = IntervalEngine{}
+)
 
 // opInterval is one failure episode of a slot: the drive fails at Fail and
 // the replacement is fully restored at RestoreEnd.
@@ -35,36 +39,63 @@ type slotChronology struct {
 	defects []defectInterval
 }
 
+// intervalFailure is one operational failure tagged with its slot, for the
+// merged fleet-wide sweep.
+type intervalFailure struct {
+	slot int
+	op   opInterval
+}
+
+// intervalScratch is the reusable per-worker state of the interval engine:
+// per-slot chronologies and the merged failure sequence keep their backing
+// arrays across iterations.
+type intervalScratch struct {
+	chrons []slotChronology
+	fails  []intervalFailure
+}
+
+var intervalScratchPool = sync.Pool{New: func() any { return new(intervalScratch) }}
+
 // Simulate implements Engine.
-func (IntervalEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
+func (e IntervalEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
+	return e.SimulateInto(cfg, r, nil)
+}
+
+// SimulateInto implements IntoSimulator: one chronology, DDFs appended to
+// buf, internal scratch pooled and reused across calls.
+func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return buf, err
 	}
 	if cfg.Spares != nil {
-		return nil, fmt.Errorf("sim: the interval engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
+		return buf, fmt.Errorf("sim: the interval engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
 	}
-	chrons := make([]slotChronology, cfg.Drives)
+	sc := intervalScratchPool.Get().(*intervalScratch)
+	defer intervalScratchPool.Put(sc)
+	if cap(sc.chrons) < cfg.Drives {
+		grown := make([]slotChronology, cfg.Drives)
+		copy(grown, sc.chrons[:cap(sc.chrons)])
+		sc.chrons = grown
+	}
+	sc.chrons = sc.chrons[:cfg.Drives]
+	chrons := sc.chrons
 	for i := range chrons {
-		chrons[i] = buildSlotChronology(cfg, i, r)
+		chrons[i].ops = chrons[i].ops[:0]
+		chrons[i].defects = chrons[i].defects[:0]
+		buildSlotChronology(cfg, i, r, &chrons[i])
 	}
 
 	// Merge every operational failure, tagged with its slot.
-	type failure struct {
-		slot int
-		op   opInterval
-	}
-	var fails []failure
-	for slot, ch := range chrons {
-		for _, op := range ch.ops {
-			fails = append(fails, failure{slot: slot, op: op})
+	fails := sc.fails[:0]
+	for slot := range chrons {
+		for _, op := range chrons[slot].ops {
+			fails = append(fails, intervalFailure{slot: slot, op: op})
 		}
 	}
+	sc.fails = fails
 	sort.Slice(fails, func(i, j int) bool { return fails[i].op.Fail < fails[j].op.Fail })
 
-	var (
-		ddfs          []DDF
-		suppressUntil float64
-	)
+	var suppressUntil float64
 	for _, f := range fails {
 		t := f.op.Fail
 		if t > cfg.Mission {
@@ -93,10 +124,10 @@ func (IntervalEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
 		}
 		switch {
 		case failedOthers >= cfg.Redundancy:
-			ddfs = append(ddfs, DDF{Time: t, Cause: CauseOpOp})
+			buf = append(buf, DDF{Time: t, Cause: CauseOpOp})
 			suppressUntil = f.op.RestoreEnd
 		case failedOthers == cfg.Redundancy-1 && defectSlot >= 0:
-			ddfs = append(ddfs, DDF{Time: t, Cause: CauseLdOp})
+			buf = append(buf, DDF{Time: t, Cause: CauseLdOp})
 			suppressUntil = f.op.RestoreEnd
 			// The defective drive is repaired with the failed one: its
 			// defect ends at the concomitant restore rather than running to
@@ -106,7 +137,7 @@ func (IntervalEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
 			}
 		}
 	}
-	return ddfs, nil
+	return buf, nil
 }
 
 // opFailedAt reports whether the slot is inside a failure episode at t.
@@ -117,13 +148,12 @@ func opFailedAt(ops []opInterval, t float64) bool {
 }
 
 // buildSlotChronology lays out one slot's alternating up/down episodes and
-// its defect intervals, mirroring the event engine's semantics: drive
-// generation g runs from its installation (the previous drive's failure
-// time) to its own failure; defects arrive by renewal within that window
-// and end at scrub completion or the drive's own failure, whichever is
-// first.
-func buildSlotChronology(cfg Config, slot int, r *rng.RNG) slotChronology {
-	var ch slotChronology
+// its defect intervals into ch, mirroring the event engine's semantics:
+// drive generation g runs from its installation (the previous drive's
+// failure time) to its own failure; defects arrive by renewal within that
+// window and end at scrub completion or the drive's own failure, whichever
+// is first.
+func buildSlotChronology(cfg Config, slot int, r *rng.RNG, ch *slotChronology) {
 	genStart := 0.0 // installation time of the current drive
 	upFrom := 0.0   // operational-clock start of the current drive
 	for {
@@ -133,7 +163,7 @@ func buildSlotChronology(cfg Config, slot int, r *rng.RNG) slotChronology {
 			end = cfg.Mission
 		}
 		if cfg.Trans.latentEnabled() {
-			appendDefects(cfg, r, &ch, genStart, end, fail)
+			appendDefects(cfg, r, ch, genStart, end, fail)
 		}
 		if fail > cfg.Mission {
 			break
@@ -148,7 +178,6 @@ func buildSlotChronology(cfg Config, slot int, r *rng.RNG) slotChronology {
 			break
 		}
 	}
-	return ch
 }
 
 // appendDefects renewal-samples defect arrivals on [genStart, windowEnd)

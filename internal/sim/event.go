@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // eventKind enumerates the event-queue engine's event types.
 type eventKind int
 
@@ -24,39 +22,68 @@ type event struct {
 	arg  float64 // evTruncateDefects: clear defects that started at or before arg
 }
 
-// eventQueue is a min-heap of events ordered by (time, seq).
-type eventQueue []*event
+// eventQueue is a min-heap of event values ordered by (time, seq). It is
+// deliberately not backed by container/heap: pushing through the standard
+// interface boxes every event into an interface value, which costs one
+// heap allocation per scheduled event — the dominant allocation of the
+// simulate hot loop. The value-based heap keeps its backing array across
+// iterations (reset truncates, it does not free), so a warmed-up engine
+// schedules events with zero allocations.
+type eventQueue struct {
+	es []event
+}
 
-var _ heap.Interface = (*eventQueue)(nil)
+// reset empties the queue, keeping the backing array for reuse.
+func (q *eventQueue) reset() { q.es = q.es[:0] }
 
-func (q eventQueue) Len() int { return len(q) }
+func (q *eventQueue) Len() int { return len(q.es) }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// less orders by (time, seq) — identical to the previous container/heap
+// comparison, so pop order (and therefore every simulated chronology) is
+// bit-for-bit unchanged.
+func (q *eventQueue) less(i, j int) bool {
+	if q.es[i].time != q.es[j].time {
+		return q.es[i].time < q.es[j].time
 	}
-	return q[i].seq < q[j].seq
+	return q.es[i].seq < q.es[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-// Push implements heap.Interface.
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-// Pop implements heap.Interface.
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// push adds e to the queue.
+func (q *eventQueue) push(e event) {
+	q.es = append(q.es, e)
+	// Sift up.
+	i := len(q.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.es[i], q.es[parent] = q.es[parent], q.es[i]
+		i = parent
+	}
 }
 
-// pushEvent and popEvent are typed wrappers over container/heap.
-func pushEvent(q *eventQueue, e *event) { heap.Push(q, e) }
-
-func popEvent(q *eventQueue) *event {
-	e, _ := heap.Pop(q).(*event)
-	return e
+// pop removes and returns the minimum event. The queue must be non-empty.
+func (q *eventQueue) pop() event {
+	top := q.es[0]
+	n := len(q.es) - 1
+	q.es[0] = q.es[n]
+	q.es = q.es[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.es[i], q.es[smallest] = q.es[smallest], q.es[i]
+		i = smallest
+	}
 }

@@ -57,9 +57,6 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 	refOf := func(global int) slotRef { return slotRef{group: global / g.Drives, slot: global % g.Drives} }
 
 	slots := make([]slotState, total)
-	for i := range slots {
-		slots[i].defects = make(map[int64]float64, 4)
-	}
 	spares := newSparePool(cfg.SharedSpares)
 	var (
 		q             eventQueue
@@ -72,7 +69,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 			return
 		}
 		seq++
-		pushEvent(&q, &event{time: t, seq: seq, kind: kind, slot: slot, gen: gen, id: id, arg: arg})
+		q.push(event{time: t, seq: seq, kind: kind, slot: slot, gen: gen, id: id, arg: arg})
 	}
 	scheduleOpFail := func(slot int, from float64) {
 		push(from+g.ttopFor(refOf(slot).slot).Sample(r), evOpFail, slot, slots[slot].gen, 0, 0)
@@ -89,7 +86,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 	}
 
 	for q.Len() > 0 {
-		ev := popEvent(&q)
+		ev := q.pop()
 		if ev.time > g.Mission {
 			break
 		}
@@ -112,9 +109,9 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 				case o.failed:
 					failedOthers++
 				case len(o.defects) > 0:
-					for _, start := range o.defects {
-						if start < defectStart {
-							defectStart = start
+					for _, d := range o.defects {
+						if d.start < defectStart {
+							defectStart = d.start
 							defectSlot = k
 						}
 					}
@@ -122,7 +119,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 			}
 			s.failed = true
 			s.gen++
-			clear(s.defects)
+			s.defects = s.defects[:0]
 			s.restoreEnd = spares.rebuildStart(ev.time) + g.Trans.TTR.Sample(r)
 			push(s.restoreEnd, evOpRestore, ev.slot, s.gen, 0, 0)
 			scheduleDefect(ev.slot, ev.time)
@@ -151,7 +148,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 				continue
 			}
 			defectID++
-			s.defects[defectID] = ev.time
+			s.defects = append(s.defects, defectRec{id: defectID, start: ev.time})
 			if g.Trans.TTScrub != nil {
 				push(ev.time+g.Trans.TTScrub.Sample(r), evDefectClear, ev.slot, s.gen, defectID, 0)
 			}
@@ -161,17 +158,19 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 			if ev.gen != s.gen {
 				continue
 			}
-			delete(s.defects, ev.id)
+			s.removeDefect(ev.id)
 
 		case evTruncateDefects:
 			if ev.gen != s.gen {
 				continue
 			}
-			for id, start := range s.defects {
-				if start <= ev.arg {
-					delete(s.defects, id)
+			kept := s.defects[:0]
+			for _, d := range s.defects {
+				if d.start > ev.arg {
+					kept = append(kept, d)
 				}
 			}
+			s.defects = kept
 		}
 	}
 	result := make([]GroupDDFs, cfg.Groups)

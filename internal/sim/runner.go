@@ -119,19 +119,35 @@ func (r *RunResult) Merge(other *RunResult) {
 	r.flatTimes = nil
 }
 
-// Run executes the campaign, fanning iterations across workers with
-// disjoint RNG streams. Results are deterministic for a given (spec, seed,
-// iteration count) regardless of worker count, because stream Offset+i is
-// always assigned to iteration i.
-func Run(spec RunSpec) (*RunResult, error) {
+// collectWindow is each worker's output-channel depth: how far ahead of
+// the in-order merge a worker may run before blocking.
+const collectWindow = 256
+
+// handoff is one simulated iteration crossing from a worker to the merger.
+type handoff struct {
+	ddfs []DDF
+	err  error
+}
+
+// RunCollect executes the campaign, streaming every iteration's DDFs into
+// c in strict iteration order. Worker w simulates iterations i ≡ w (mod
+// workers), each from RNG stream Offset+i, and the merger round-robins the
+// worker channels — so c observes exactly the sequence a serial loop would
+// produce, bit-identical for any worker count, while peak memory stays
+// O(workers·window) instead of O(iterations).
+//
+// Each worker reuses one RNG (reseeded per stream) and, when the engine
+// implements IntoSimulator, one DDF buffer — the steady-state event-free
+// iteration allocates nothing.
+func RunCollect(spec RunSpec, c Collector) error {
 	if err := spec.Config.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if spec.Iterations < 1 {
-		return nil, fmt.Errorf("sim: iterations must be >= 1, got %d", spec.Iterations)
+		return fmt.Errorf("sim: iterations must be >= 1, got %d", spec.Iterations)
 	}
 	if spec.Offset < 0 {
-		return nil, fmt.Errorf("sim: stream offset must be >= 0, got %d", spec.Offset)
+		return fmt.Errorf("sim: stream offset must be >= 0, got %d", spec.Offset)
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -144,33 +160,75 @@ func Run(spec RunSpec) (*RunResult, error) {
 	if engine == nil {
 		engine = EventEngine{}
 	}
+	into, hasInto := engine.(IntoSimulator)
 
-	// Iteration i always draws from rng.ForStream(seed, Offset+i), so the
-	// result is bit-for-bit identical no matter how many workers run.
-	result := &RunResult{PerGroup: make([][]DDF, spec.Iterations)}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
+	// done releases workers blocked on a full channel when the merger
+	// aborts early on an error.
+	done := make(chan struct{})
+	defer close(done)
+	chans := make([]chan handoff, workers)
 	for w := 0; w < workers; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		chans[w] = make(chan handoff, collectWindow)
+		go func(w int, out chan<- handoff) {
+			var (
+				r   rng.RNG
+				buf []DDF
+			)
 			for i := w; i < spec.Iterations; i += workers {
-				ddfs, err := engine.Simulate(spec.Config, rng.ForStream(spec.Seed, uint64(spec.Offset+i)))
-				if err != nil {
-					errs[w] = err
+				r.SeedStream(spec.Seed, uint64(spec.Offset+i))
+				var h handoff
+				if hasInto {
+					buf, h.err = into.SimulateInto(spec.Config, &r, buf[:0])
+					if h.err == nil && len(buf) > 0 {
+						// The buffer is reused next iteration; only the rare
+						// event-bearing result is copied out.
+						h.ddfs = make([]DDF, len(buf))
+						copy(h.ddfs, buf)
+					}
+				} else {
+					h.ddfs, h.err = engine.Simulate(spec.Config, &r)
+				}
+				select {
+				case out <- h:
+					if h.err != nil {
+						return
+					}
+				case <-done:
 					return
 				}
-				result.PerGroup[i] = ddfs
 			}
-		}()
+		}(w, chans[w])
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	for i := 0; i < spec.Iterations; i++ {
+		h := <-chans[i%workers]
+		if h.err != nil {
+			return h.err
 		}
+		c.Observe(i, h.ddfs)
 	}
-	result.Tally()
-	return result, nil
+	return nil
+}
+
+// RunSparse executes the campaign and accumulates it in sparse form —
+// O(events) memory, with the 99.9%+ event-free groups costing nothing but
+// their count.
+func RunSparse(spec RunSpec) (*SparseResult, error) {
+	res := &SparseResult{}
+	if err := RunCollect(spec, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Run executes the campaign and materializes the dense per-group
+// representation. It is a compatibility wrapper over the sparse pipeline;
+// prefer RunSparse (or RunCollect with a custom Collector) for large
+// iteration counts, where PerGroup alone costs O(iterations) memory.
+func Run(spec RunSpec) (*RunResult, error) {
+	sres, err := RunSparse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sres.Dense(), nil
 }

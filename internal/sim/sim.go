@@ -192,3 +192,14 @@ type Engine interface {
 	// returns the DDFs in chronological order.
 	Simulate(cfg Config, r *rng.RNG) ([]DDF, error)
 }
+
+// IntoSimulator is the allocation-free fast path of an Engine: it appends
+// the chronology's DDFs to buf (which may be nil) and returns the extended
+// slice, reusing internal scratch between calls. In the paper's rare-event
+// regime almost every iteration returns len(buf) unchanged, so a runner
+// that reuses one buffer per worker simulates in a zero-allocation steady
+// state. Engines that implement it must produce bit-identical results to
+// their Simulate method.
+type IntoSimulator interface {
+	SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, error)
+}

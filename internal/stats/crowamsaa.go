@@ -65,6 +65,12 @@ func FitPowerLaw(events [][]float64, horizon float64) (PowerLawFit, error) {
 			sumLog += math.Log(horizon / t)
 		}
 	}
+	return powerLawFromSums(n, sumLog, len(events), horizon)
+}
+
+// powerLawFromSums finishes the Crow MLE from the pooled event count, the
+// Σ ln(horizon/tᵢ) sufficient statistic, and the total system count.
+func powerLawFromSums(n int, sumLog float64, nSystems int, horizon float64) (PowerLawFit, error) {
 	if n < 2 {
 		return PowerLawFit{}, fmt.Errorf("stats: need >= 2 events, got %d", n)
 	}
@@ -72,7 +78,7 @@ func FitPowerLaw(events [][]float64, horizon float64) (PowerLawFit, error) {
 		return PowerLawFit{}, fmt.Errorf("stats: degenerate event times (all at the horizon)")
 	}
 	beta := float64(n) / sumLog
-	lambda := float64(n) / (float64(len(events)) * math.Pow(horizon, beta))
+	lambda := float64(n) / (float64(nSystems) * math.Pow(horizon, beta))
 	return PowerLawFit{Beta: beta, Lambda: lambda, Events: n}, nil
 }
 

@@ -35,14 +35,7 @@ func MCF(events [][]float64, nSystems int) ([]MCFPoint, error) {
 		all = append(all, sys...)
 	}
 	sort.Float64s(all)
-	out := make([]MCFPoint, 0, len(all))
-	for i, t := range all {
-		if math.IsNaN(t) || t < 0 {
-			return nil, fmt.Errorf("stats: invalid event time %v", t)
-		}
-		out = append(out, MCFPoint{Time: t, MCF: float64(i+1) / float64(nSystems)})
-	}
-	return out, nil
+	return MCFFromTimes(all, nSystems)
 }
 
 // MCFAt evaluates a step MCF at time t (the value of the most recent step at

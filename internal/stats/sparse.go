@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse entry points: the Monte Carlo pipeline stores only the groups
+// that produced events (a few hundred out of millions in the paper's
+// rare-event regime), so the estimators here take pooled event times plus
+// an explicit total system count instead of per-system [][]float64 — the
+// empty systems are implied, and cost nothing.
+
+// MCFFromTimes computes the mean cumulative function from the pooled event
+// times of nSystems systems, already sorted ascending. It is the sparse
+// counterpart of MCF: identical output, O(events) instead of
+// O(systems + events).
+func MCFFromTimes(times []float64, nSystems int) ([]MCFPoint, error) {
+	if nSystems <= 0 {
+		return nil, fmt.Errorf("stats: MCF needs positive system count, got %d", nSystems)
+	}
+	out := make([]MCFPoint, 0, len(times))
+	prev := math.Inf(-1)
+	for i, t := range times {
+		if math.IsNaN(t) || t < 0 {
+			return nil, fmt.Errorf("stats: invalid event time %v", t)
+		}
+		if t < prev {
+			return nil, fmt.Errorf("stats: event times not ascending at index %d", i)
+		}
+		prev = t
+		out = append(out, MCFPoint{Time: t, MCF: float64(i+1) / float64(nSystems)})
+	}
+	return out, nil
+}
+
+// FitPowerLawTimes computes the time-terminated Crow MLE from the pooled
+// event times of nSystems systems observed over [0, horizon] — the sparse
+// counterpart of FitPowerLaw. The system count enters the scale estimate
+// (λ̂ = N / (k · horizonᵝ)), so it must include the event-free systems.
+func FitPowerLawTimes(times []float64, nSystems int, horizon float64) (PowerLawFit, error) {
+	if !(horizon > 0) || math.IsInf(horizon, 0) {
+		return PowerLawFit{}, fmt.Errorf("stats: invalid horizon %v", horizon)
+	}
+	if nSystems <= 0 {
+		return PowerLawFit{}, fmt.Errorf("stats: no systems")
+	}
+	n := 0
+	var sumLog float64
+	for _, t := range times {
+		if !(t > 0) || t > horizon {
+			return PowerLawFit{}, fmt.Errorf("stats: event time %v outside (0, %v]", t, horizon)
+		}
+		n++
+		sumLog += math.Log(horizon / t)
+	}
+	return powerLawFromSums(n, sumLog, nSystems, horizon)
+}
+
+// NormalMeanCISparse computes NormalMeanCI over a sample of n observations
+// of which only the nonzero values are materialized; the remaining
+// n-len(nonzero) observations are exactly zero. Zeros contribute nothing
+// to the mean's float sum, so the midpoint matches the dense computation
+// bit-for-bit; the variance folds the zero terms in closed form
+// ((n-k)·mean²), which can differ from the dense sum in the last ulp.
+func NormalMeanCISparse(nonzero []float64, n int, level float64) (Interval, error) {
+	if n < 2 {
+		return Interval{}, fmt.Errorf("stats: need >= 2 observations, got %d", n)
+	}
+	if len(nonzero) > n {
+		return Interval{}, fmt.Errorf("stats: %d nonzero values exceed %d observations", len(nonzero), n)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+	}
+	// Sum in sorted order, exactly as Summarize does for the dense vector
+	// (where the implied zeros sort first and add nothing).
+	s := make([]float64, len(nonzero))
+	copy(s, nonzero)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	ss += float64(n-len(s)) * mean * mean
+	variance := ss / float64(n-1)
+	z := normalQuantile(0.5 + level/2)
+	half := z * math.Sqrt(variance) / math.Sqrt(float64(n))
+	return Interval{Lo: mean - half, Hi: mean + half, Level: level}, nil
+}
