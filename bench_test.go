@@ -183,7 +183,7 @@ func BenchmarkEngineTimelineInto(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.SeedStream(1, uint64(i))
-		if buf, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
+		if buf, _, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,7 +216,7 @@ func BenchmarkEngineSequentialInto(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.SeedStream(1, uint64(i))
-		if buf, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
+		if buf, _, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
 			b.Fatal(err)
 		}
 	}

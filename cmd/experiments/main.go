@@ -32,13 +32,14 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 20070625, "master RNG seed")
 	points := fs.Int("points", 21, "curve grid points")
 	csv := fs.Bool("csv", false, "emit CSV instead of tables/plots")
+	bias := fs.Float64("bias", 0, "importance sampling: operational-failure hazard scale factor (0 or 1 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one experiment name, got %d args (try: all)", fs.NArg())
 	}
-	opt := experiments.Options{Iterations: *iterations, Seed: *seed, CurvePoints: *points}
+	opt := experiments.Options{Iterations: *iterations, Seed: *seed, CurvePoints: *points, BiasOp: *bias}
 	r := renderer{out: out, csv: *csv, opt: opt}
 
 	name := fs.Arg(0)

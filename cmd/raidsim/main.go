@@ -17,6 +17,12 @@
 //	        [-target-rel-err 0.1] [-confidence 0.95]
 //	        [-max-iterations N] [-max-duration 1h] [-batch 1000]
 //	        [-checkpoint c.json] [-resume c.json] [-progress]
+//	        [-bias 4] [-bias-ld 1]
+//
+// -bias enables importance sampling: operational-failure hazards are
+// scaled up by the factor during sampling and every estimate is
+// reweighted by the likelihood ratio, so rare DDFs are resolved with far
+// fewer iterations at unchanged expectation.
 package main
 
 import (
@@ -70,8 +76,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	checkpoint := fs.String("checkpoint", "", "adaptive: write a resumable checkpoint file after every batch")
 	resume := fs.String("resume", "", "adaptive: restore campaign state from a checkpoint file")
 	progress := fs.Bool("progress", false, "adaptive: stream per-batch telemetry to stderr")
+	bias := fs.Float64("bias", 0, "importance sampling: operational-failure hazard scale factor (0 or 1 = off)")
+	biasLd := fs.Float64("bias-ld", 0, "importance sampling: latent-defect hazard scale factor (0 or 1 = off; rarely useful, see DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ldRate < 0 {
+		return fmt.Errorf("-ld-rate %v negative (use 0 to disable latent defects)", *ldRate)
+	}
+	if *scrubHours < 0 {
+		return fmt.Errorf("-scrub %v negative (use 0 to disable scrubbing)", *scrubHours)
 	}
 
 	p := core.Params{
@@ -84,15 +98,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *ldRate > 0 {
 		p.LatentDefects = true
 		p.TTLd = core.WeibullSpec{Scale: 1 / *ldRate, Shape: 1}
+		// Periodic(0) is the disabled policy, so one call covers both the
+		// scrubbing and the -scrub 0 case.
 		var err error
 		p, err = scrub.Periodic(*scrubHours).Apply(p)
-		if *scrubHours == 0 {
-			p, err = scrub.Disabled().Apply(p)
-		}
 		if err != nil {
 			return err
 		}
 	}
+	p.Bias.Op = *bias
+	p.Bias.Ld = *biasLd
 	if *trace {
 		return renderTrace(out, p, *seed)
 	}
@@ -158,6 +173,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			camp.Iterations, camp.Batches, camp.Reason)
 		fmt.Fprintf(out, "               p(DDF per group) CI%.0f [%.3g, %.3g], relative half-width %.3g\n",
 			camp.CI.Level*100, camp.CI.Lo, camp.CI.Hi, camp.RelErr)
+		if camp.ESS > 0 {
+			fmt.Fprintf(out, "               importance sampling: effective sample size %.1f of %d event groups\n",
+				camp.ESS, camp.GroupsWithDDF)
+		}
 	}
 	cmp, err := m.CompareWithMTTDL(res, *mission)
 	if err != nil {

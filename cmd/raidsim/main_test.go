@@ -80,6 +80,44 @@ func TestRunValidation(t *testing.T) {
 	if err := run(context.Background(), []string{"-batch", "-5", "-max-iterations", "100"}, &sb); err == nil {
 		t.Error("negative batch size accepted")
 	}
+	if err := run(context.Background(), []string{"-ld-rate", "-1e-4"}, &sb); err == nil {
+		t.Error("negative latent-defect rate accepted")
+	}
+	if err := run(context.Background(), []string{"-scrub", "-24"}, &sb); err == nil {
+		t.Error("negative scrub period accepted")
+	}
+	if err := run(context.Background(), []string{"-bias", "-2"}, &sb); err == nil {
+		t.Error("negative bias factor accepted")
+	}
+}
+
+// -scrub 0 with latent defects on must disable scrubbing and still run:
+// the disabled policy is one Periodic(0) call, with no second Apply
+// clobbering the first one's error.
+func TestRunScrubDisabled(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-iterations", "100", "-ld-rate", "3e-4", "-scrub", "0"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mission total") {
+		t.Errorf("scrub-disabled run produced no summary:\n%s", sb.String())
+	}
+}
+
+// A biased adaptive campaign must surface the effective sample size in
+// the campaign block.
+func TestRunBiasReportsESS(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-op-eta", "40000", "-op-beta", "1", "-ld-rate", "0",
+		"-max-iterations", "200", "-batch", "100", "-bias", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "effective sample size") {
+		t.Errorf("biased campaign output missing ESS line:\n%s", sb.String())
+	}
 }
 
 // Adaptive mode with an iteration budget must report the campaign

@@ -4,9 +4,11 @@
 // wastes cycles or returns statistically useless counts. The orchestrator
 // instead runs iterations in batches and, after each batch:
 //
-//  1. computes a Wilson confidence interval on the per-group DDF
-//     probability and stops once a target relative half-width (or an
-//     iteration / wall-clock budget) is reached;
+//  1. computes a confidence interval on the per-group DDF probability —
+//     Wilson for plain Monte Carlo, the weighted-normal interval of the
+//     likelihood-ratio estimator when importance sampling (sim.Bias) is
+//     on — and stops once a target relative half-width (or an iteration /
+//     wall-clock budget) is reached;
 //  2. writes a versioned JSON checkpoint — per-group results plus the
 //     next RNG stream index — so a killed campaign resumes bit-for-bit
 //     identically (stream i is always assigned to iteration i, so the
@@ -190,10 +192,17 @@ type Result struct {
 	// GroupsWithDDF counts groups that experienced at least one DDF —
 	// the binomial numerator behind CI.
 	GroupsWithDDF int
-	// CI is the Wilson interval on the per-group DDF probability.
+	// CI is the interval on the per-group DDF probability: Wilson for a
+	// plain campaign, the weighted-normal interval of the likelihood-ratio
+	// estimator when importance sampling is enabled.
 	CI stats.Interval
 	// RelErr is CI's relative half-width (+Inf until a DDF is seen).
 	RelErr float64
+	// ESS is the Kish effective sample size of the event-group importance
+	// weights — the number of unweighted DDF groups carrying equivalent
+	// statistical information. Zero for unbiased campaigns (where every
+	// weight is 1 and ESS would equal GroupsWithDDF).
+	ESS float64
 	// Reason records which stopping rule fired.
 	Reason StopReason
 	// Elapsed is this process's wall-clock time in the campaign loop.
@@ -287,15 +296,32 @@ func assemble(spec Spec, run *sim.SparseResult, done, batches, resumedFrom int, 
 	res.RelErr = math.Inf(1)
 	if done > 0 {
 		res.GroupsWithDDF = run.GroupsWithDDF()
-		ci, err := stats.WilsonCI(res.GroupsWithDDF, done, spec.Confidence)
-		if err == nil {
-			res.CI = ci
-			if res.GroupsWithDDF > 0 {
-				// With zero events the Wilson interval is [0, hi] and its
-				// relative half-width is identically 1 — no information
-				// about the rate at all. Keep RelErr infinite so neither
-				// the stopping rule nor the ETA treats it as progress.
-				res.RelErr = ci.RelativeHalfWidth()
+		if spec.Config.Bias.Enabled() {
+			// Importance-sampled campaign: the observations are the
+			// likelihood-ratio weights of event groups (implied zeros
+			// elsewhere), not 0/1 indicators, so Wilson does not apply.
+			// Stop on the weighted-normal interval instead and expose ESS
+			// as the weight-degeneracy diagnostic.
+			ws := run.GroupWeights()
+			res.ESS = stats.ESS(ws)
+			ci, err := stats.WeightedBernoulliCI(ws, done, spec.Confidence)
+			if err == nil {
+				res.CI = ci
+				if len(ws) > 0 {
+					res.RelErr = ci.RelativeHalfWidth()
+				}
+			}
+		} else {
+			ci, err := stats.WilsonCI(res.GroupsWithDDF, done, spec.Confidence)
+			if err == nil {
+				res.CI = ci
+				if res.GroupsWithDDF > 0 {
+					// With zero events the Wilson interval is [0, hi] and its
+					// relative half-width is identically 1 — no information
+					// about the rate at all. Keep RelErr infinite so neither
+					// the stopping rule nor the ETA treats it as progress.
+					res.RelErr = ci.RelativeHalfWidth()
+				}
 			}
 		}
 	}

@@ -16,13 +16,16 @@ import (
 const CheckpointVersion = 1
 
 // checkpointEvent is one DDF in flat form: group index within the
-// campaign, event time, and cause. Groups without events are implied by
-// NextStream, which keeps the file small in the rare-event regime where
-// almost every group is empty.
+// campaign, event time, cause, and (for importance-sampled campaigns) the
+// group's log likelihood-ratio weight. Groups without events are implied
+// by NextStream, which keeps the file small in the rare-event regime where
+// almost every group is empty. LogW is omitted when zero, so unbiased
+// campaigns write exactly the format older readers expect.
 type checkpointEvent struct {
 	Group int     `json:"g"`
 	Time  float64 `json:"t"`
 	Cause int     `json:"c"`
+	LogW  float64 `json:"lw,omitempty"`
 }
 
 // checkpointFile is the versioned JSON document written after each batch.
@@ -60,6 +63,14 @@ func fingerprint(spec Spec) string {
 		cfg.Trans.TTOp, cfg.Trans.TTR, cfg.Trans.TTLd, cfg.Trans.TTScrub)
 	fmt.Fprintf(h, "nhpp=%t;nhppmax=%g;", cfg.Trans.TTLdRate != nil, cfg.Trans.TTLdRateMax)
 	fmt.Fprintf(h, "slots=%v;spares=%v;", cfg.SlotTTOp, cfg.Spares)
+	if cfg.Bias.Enabled() {
+		// Included only when biasing is on: checkpoints written before the
+		// importance-sampling feature keep their fingerprints and remain
+		// resumable, while a biased campaign never resumes an unbiased
+		// checkpoint (or one biased differently) — the weights would be
+		// inconsistent.
+		fmt.Fprintf(h, "bias=%v;", cfg.Bias)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -79,7 +90,7 @@ func saveCheckpoint(path string, spec Spec, run *sim.SparseResult, batches int) 
 		Events:      make([]checkpointEvent, 0, run.TotalDDFs),
 	}
 	for _, e := range run.Events {
-		doc.Events = append(doc.Events, checkpointEvent{Group: e.Group, Time: e.Time, Cause: int(e.Cause)})
+		doc.Events = append(doc.Events, checkpointEvent{Group: e.Group, Time: e.Time, Cause: int(e.Cause), LogW: e.LogW})
 	}
 	data, err := json.Marshal(doc)
 	if err != nil {
@@ -124,9 +135,10 @@ func loadCheckpoint(path string, spec Spec) (*sim.SparseResult, int, error) {
 // verifying the format version, that the checkpoint belongs to this
 // (config, seed, engine), and that every event is well-formed — group
 // inside [0, NextStream), time finite and within the mission, cause one of
-// the two defined values, events sorted by (group, time). A corrupted or
-// hand-edited file yields a descriptive error, never a panic or a silently
-// inconsistent accumulator.
+// the two defined values, events sorted by (group, time), log weights
+// finite and identical within a group. A corrupted or hand-edited file
+// yields a descriptive error, never a panic or a silently inconsistent
+// accumulator.
 func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
 	var doc checkpointFile
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -160,13 +172,21 @@ func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
 		if c != sim.CauseOpOp && c != sim.CauseLdOp {
 			return nil, 0, fmt.Errorf("event %d: unknown cause %d", i, e.Cause)
 		}
+		if math.IsNaN(e.LogW) || math.IsInf(e.LogW, 0) {
+			return nil, 0, fmt.Errorf("event %d: log weight %v not finite", i, e.LogW)
+		}
 		if i > 0 {
 			prev := doc.Events[i-1]
 			if e.Group < prev.Group || (e.Group == prev.Group && e.Time < prev.Time) {
 				return nil, 0, fmt.Errorf("event %d: events not sorted by (group, time)", i)
 			}
+			if e.Group == prev.Group && e.LogW != prev.LogW {
+				// The weight is a per-group quantity repeated on each event;
+				// a mismatch means the file was corrupted or edited.
+				return nil, 0, fmt.Errorf("event %d: log weight %v differs from group %d's %v", i, e.LogW, e.Group, prev.LogW)
+			}
 		}
-		run.Events = append(run.Events, sim.GroupEvent{Group: e.Group, DDF: sim.DDF{Time: e.Time, Cause: c}})
+		run.Events = append(run.Events, sim.GroupEvent{Group: e.Group, LogW: e.LogW, DDF: sim.DDF{Time: e.Time, Cause: c}})
 	}
 	run.Tally()
 	return run, doc.Batches, nil

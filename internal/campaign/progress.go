@@ -21,10 +21,14 @@ type Snapshot struct {
 	TotalDDFs, OpOpDDFs, LdOpDDFs int
 	// GroupsWithDDF is the binomial numerator of the stopping statistic.
 	GroupsWithDDF int
-	// CI is the current Wilson interval on the per-group DDF probability.
+	// CI is the current interval on the per-group DDF probability (Wilson,
+	// or weighted-normal under importance sampling).
 	CI stats.Interval
 	// RelErr is CI's relative half-width (+Inf until a DDF is seen).
 	RelErr float64
+	// ESS is the effective sample size of the importance weights; zero for
+	// unbiased campaigns.
+	ESS float64
 	// Rate is iterations per second in this process (0 until measurable).
 	Rate float64
 	// Elapsed is wall-clock time in this process's campaign loop.
@@ -61,6 +65,7 @@ func report(spec Spec, res *Result, start time.Time, done bool) {
 		GroupsWithDDF: res.GroupsWithDDF,
 		CI:            res.CI,
 		RelErr:        res.RelErr,
+		ESS:           res.ESS,
 		Elapsed:       res.Elapsed,
 		ETA:           -1,
 		Done:          done,
@@ -106,24 +111,34 @@ func eta(spec Spec, s Snapshot) time.Duration {
 		}
 	}
 	if spec.MaxDuration > 0 {
-		consider(spec.MaxDuration - s.Elapsed)
+		remaining := spec.MaxDuration - s.Elapsed
+		if remaining < 0 {
+			// Elapsed already past the budget: the stop fires at the next
+			// batch boundary. Clamp to 0 rather than letting the negative
+			// value be discarded as "unknown".
+			remaining = 0
+		}
+		consider(remaining)
 	}
 	return best
 }
 
 // WriterProgress returns a Progress sink that prints one status line per
-// snapshot to w. It is the default reporter behind raidsim -progress.
+// snapshot to w. It is the default reporter behind raidsim -progress. The
+// final "done" line repeats the estimate, CI, and relative error of the
+// in-flight lines, so a log's last line carries the campaign's verdict.
 func WriterProgress(w io.Writer) Progress {
 	return ProgressFunc(func(s Snapshot) {
 		if s.Done {
-			fmt.Fprintf(w, "campaign: done (%s): %d iterations in %d batches, %s: %d DDFs (%d op+op, %d ld+op)\n",
+			fmt.Fprintf(w, "campaign: done (%s): %d iterations in %d batches, %s: %d DDFs (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s%s\n",
 				s.Reason, s.Iterations, s.Batches, s.Elapsed.Round(time.Millisecond),
-				s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs)
+				s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs,
+				phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s))
 			return
 		}
-		fmt.Fprintf(w, "campaign: %d iters (%.0f/s) ddf=%d (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s eta=%s\n",
+		fmt.Fprintf(w, "campaign: %d iters (%.0f/s) ddf=%d (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s%s eta=%s\n",
 			s.Iterations, s.Rate, s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs,
-			phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), etaString(s.ETA))
+			phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s), etaString(s.ETA))
 	})
 }
 
@@ -131,10 +146,22 @@ func WriterProgress(w io.Writer) Progress {
 func StderrProgress() Progress { return WriterProgress(os.Stderr) }
 
 func phat(s Snapshot) float64 {
+	if s.ESS > 0 {
+		// Importance-sampled campaign: the point estimate is the weighted
+		// mean, the midpoint of the (symmetric) weighted-normal CI.
+		return (s.CI.Lo + s.CI.Hi) / 2
+	}
 	if s.Iterations == 0 {
 		return 0
 	}
 	return float64(s.GroupsWithDDF) / float64(s.Iterations)
+}
+
+func essString(s Snapshot) string {
+	if s.ESS > 0 {
+		return fmt.Sprintf(" ess=%.1f", s.ESS)
+	}
+	return ""
 }
 
 func relErrString(r float64) string {

@@ -70,6 +70,13 @@ type Params struct {
 	// spare is always available); nil keeps that assumption.
 	Spares *sim.SparePolicy
 
+	// Bias optionally enables failure-biased importance sampling: hazards
+	// are scaled up by the given factors during sampling and every
+	// estimate is reweighted by the likelihood ratio, so rare DDFs are
+	// reached with orders of magnitude fewer iterations at unchanged
+	// expectation. The zero value is plain Monte Carlo.
+	Bias sim.Bias
+
 	// ExponentialOp forces a constant-rate TTOp with the same mean as the
 	// Weibull spec (the paper's "c-" variants in Fig. 6).
 	ExponentialOp bool
@@ -194,6 +201,7 @@ func (p Params) simConfig() (sim.Config, error) {
 		Mission:    p.MissionHours,
 		Trans:      trans,
 		Spares:     p.Spares,
+		Bias:       p.Bias,
 	}
 	if len(p.SlotTTOp) > 0 {
 		if len(p.SlotTTOp) != p.GroupSize {
@@ -271,9 +279,12 @@ func (m *Model) Run(iterations int, seed uint64) (*Result, error) {
 	return m.newResult(res, iterations)
 }
 
-// newResult wraps a raw run in the derived-statistics view.
+// newResult wraps a raw run in the derived-statistics view. Importance-
+// sampled runs feed the weighted MCF; for unbiased runs the weight slice
+// is nil and the computation is bit-identical to the unweighted one.
 func (m *Model) newResult(res *sim.SparseResult, groups int) (*Result, error) {
-	mcf, err := stats.MCFFromTimes(res.Times(), groups)
+	times, weights := res.TimesAndWeights()
+	mcf, err := stats.MCFFromWeightedTimes(times, weights, groups)
 	if err != nil {
 		return nil, fmt.Errorf("core: mcf: %w", err)
 	}
@@ -402,10 +413,12 @@ func (r *Result) FirstYearDDFsPer1000() float64 {
 }
 
 // CauseBreakdown returns the OpOp and LdOp counts per 1,000 groups over
-// the full mission.
+// the full mission. The counts are importance-weighted; for unbiased runs
+// (every weight exactly 1) they equal the raw integer tallies.
 func (r *Result) CauseBreakdown() (opop, ldop float64) {
 	scale := 1000 / float64(r.Groups)
-	return float64(r.Raw.OpOpDDFs) * scale, float64(r.Raw.LdOpDDFs) * scale
+	_, wOpOp, wLdOp := r.Raw.WeightedCauseTotals()
+	return wOpOp * scale, wLdOp * scale
 }
 
 // ConfidenceInterval returns a normal-approximation confidence interval

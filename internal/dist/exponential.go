@@ -81,6 +81,22 @@ func (e Exponential) Hazard(t float64) float64 {
 	return e.rate
 }
 
+// CumHazard returns the cumulative hazard H(t) = λt.
+func (e Exponential) CumHazard(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return e.rate * t
+}
+
+// LogPDF returns ln λ - λt for t >= 0.
+func (e Exponential) LogPDF(t float64) float64 {
+	if t < 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(e.rate) - e.rate*t
+}
+
 // Mean returns 1/λ.
 func (e Exponential) Mean() float64 { return 1 / e.rate }
 

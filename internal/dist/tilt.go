@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"math"
+
+	"raidrel/internal/rng"
+)
+
+// This file supports failure-biased importance sampling: drawing from a
+// proportional-hazards tilt of a lifetime distribution and computing the
+// log likelihood ratios that keep the weighted estimator unbiased.
+//
+// The tilt of f by factor θ > 0 is the distribution g with hazard
+// h_g(t) = θ·h_f(t), equivalently S_g(t) = S_f(t)^θ. For a Weibull(γ,η,β)
+// this is exactly Weibull(γ, η·θ^(-1/β), β); for an Exponential(λ) it is
+// Exponential(λθ). θ > 1 pulls failures earlier, making rare overlap
+// events common while the likelihood ratio f/g corrects the estimate.
+
+// CumHazarder is implemented by distributions with a closed-form
+// cumulative hazard H(t) = -ln(1 - F(t)).
+type CumHazarder interface {
+	CumHazard(t float64) float64
+}
+
+// CumHazardOf returns the cumulative hazard H(t) = -ln S(t) of d, using
+// the closed form when the distribution provides one and -ln(1-CDF)
+// otherwise. Returns +Inf where the survival function is zero.
+func CumHazardOf(d Distribution, t float64) float64 {
+	if c, ok := d.(CumHazarder); ok {
+		return c.CumHazard(t)
+	}
+	s := Survival(d, t)
+	if s == 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(s)
+}
+
+// LogPDFer is implemented by distributions with a closed-form log density.
+type LogPDFer interface {
+	LogPDF(t float64) float64
+}
+
+// LogPDF returns ln f(t) of d, using the closed form when available and
+// ln(PDF) otherwise. Returns -Inf outside the support.
+func LogPDF(d Distribution, t float64) float64 {
+	if l, ok := d.(LogPDFer); ok {
+		return l.LogPDF(t)
+	}
+	return math.Log(d.PDF(t))
+}
+
+// SampleHazardScaled draws one variate x from the proportional-hazards
+// tilt of d by factor theta and returns it together with cumHazard, the
+// base distribution's cumulative hazard H_f(x) at the draw.
+//
+// The draw inverts the tilted survival S_g = S_f^theta directly: with
+// E standard exponential, H_f(x) = E/theta, so x is the base quantile of
+// 1 - exp(-E/theta). Returning H_f(x) alongside x lets callers form the
+// log likelihood ratio ln(f(x)/g(x)) = (theta-1)·H_f(x) - ln(theta)
+// without re-evaluating densities.
+func SampleHazardScaled(d Distribution, theta float64, r *rng.RNG) (x, cumHazard float64) {
+	h := r.ExpFloat64() / theta
+	return d.Quantile(-math.Expm1(-h)), h
+}
+
+// HazardScaleLogRatio returns ln(f(x)/g(x)) where g is the
+// proportional-hazards tilt of f = d by factor theta, for an uncensored
+// (observed) draw at x.
+func HazardScaleLogRatio(d Distribution, theta, x float64) float64 {
+	return (theta-1)*CumHazardOf(d, x) - math.Log(theta)
+}
+
+// HazardScaleCensoredLogRatio returns the log likelihood ratio of the
+// censoring event {X > c}: ln(S_f(c)/S_g(c)) = (theta-1)·H_f(c). Samplers
+// that discard draws beyond a horizon must weight the discard by the
+// ratio of survival masses, not the density ratio at the discarded point —
+// this keeps every weight factor bounded (the uncensored per-draw ratio
+// has unbounded second moment for theta >= 2).
+func HazardScaleCensoredLogRatio(d Distribution, theta, c float64) float64 {
+	return (theta - 1) * CumHazardOf(d, c)
+}

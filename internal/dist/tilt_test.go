@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"raidrel/internal/rng"
+)
+
+var (
+	_ CumHazarder = Weibull{}
+	_ CumHazarder = Exponential{}
+	_ LogPDFer    = Weibull{}
+	_ LogPDFer    = Exponential{}
+)
+
+// TestLogPDFMatchesPDF: the closed-form log densities agree with ln(PDF)
+// wherever the plain density does not underflow.
+func TestLogPDFMatchesPDF(t *testing.T) {
+	dists := []Distribution{
+		MustWeibull(1.12, 461386, 0),
+		MustWeibull(2, 12, 6),
+		MustWeibull(0.5, 100, 0),
+		MustExponential(1.0 / 9259),
+	}
+	for _, d := range dists {
+		for _, x := range []float64{0.5, 1, 7, 100, 5000, 87600} {
+			want := math.Log(d.PDF(x))
+			got := LogPDF(d, x)
+			if math.IsInf(want, -1) && math.IsInf(got, -1) {
+				continue
+			}
+			if math.Abs(got-want) > 1e-9*math.Abs(want)+1e-12 {
+				t.Errorf("%v: LogPDF(%g) = %v, ln PDF = %v", d, x, got, want)
+			}
+		}
+	}
+}
+
+// TestCumHazardOfMatchesSurvival: closed-form cumulative hazards agree
+// with -ln S(t), and the generic fallback kicks in for distributions
+// without the interface.
+func TestCumHazardOfMatchesSurvival(t *testing.T) {
+	dists := []Distribution{
+		MustWeibull(1.12, 461386, 0),
+		MustWeibull(3, 168, 6),
+		MustExponential(2.5e-5),
+	}
+	for _, d := range dists {
+		for _, x := range []float64{0, 1, 50, 1000, 87600} {
+			want := -math.Log(Survival(d, x))
+			got := CumHazardOf(d, x)
+			if math.Abs(got-want) > 1e-9*(math.Abs(want)+1) {
+				t.Errorf("%v: CumHazardOf(%g) = %v, -ln S = %v", d, x, got, want)
+			}
+		}
+	}
+}
+
+// TestSampleHazardScaledIdentity: for every draw the returned cumHazard is
+// exactly the base cumulative hazard at the returned x (up to inversion
+// round-off), and the uncensored log ratio matches the explicit density
+// ratio f(x)/g(x) computed against the closed-form tilted distribution
+// (Weibull scale η·θ^(-1/β)).
+func TestSampleHazardScaledIdentity(t *testing.T) {
+	const theta = 5.0
+	f := MustWeibull(1.12, 461386, 0)
+	g := MustWeibull(1.12, 461386*math.Pow(theta, -1/1.12), 0)
+	r := rng.New(7)
+	for i := 0; i < 200; i++ {
+		x, h := SampleHazardScaled(f, theta, r)
+		if hx := f.CumHazard(x); math.Abs(hx-h) > 1e-9*(h+1e-300) {
+			t.Fatalf("draw %d: CumHazard(x)=%v, returned h=%v", i, hx, h)
+		}
+		want := f.LogPDF(x) - g.LogPDF(x)
+		got := HazardScaleLogRatio(f, theta, x)
+		if math.Abs(got-want) > 1e-9*(math.Abs(want)+1) {
+			t.Fatalf("draw %d: log ratio %v, density-based %v", i, got, want)
+		}
+	}
+}
+
+// TestSampleHazardScaledUnscaled: theta = 1 must reproduce the base
+// distribution's law (checked on the empirical mean) with log ratio 0.
+func TestSampleHazardScaledUnscaled(t *testing.T) {
+	d := MustExponential(1e-3)
+	r := rng.New(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x, _ := SampleHazardScaled(d, 1, r)
+		sum += x
+		if lr := HazardScaleLogRatio(d, 1, x); lr != 0 {
+			t.Fatalf("theta=1 draw has nonzero log ratio %v", lr)
+		}
+	}
+	mean := sum / n
+	if math.Abs(mean-d.Mean()) > 3*d.Mean()/math.Sqrt(n) {
+		t.Errorf("theta=1 empirical mean %v, want %v", mean, d.Mean())
+	}
+}
+
+// TestTiltedWeightsIntegrateToOne: E_g[f/g] = 1. With the draw censored at
+// a horizon (the sampling scheme the engines use) the weight of each
+// outcome class is bounded, so the empirical mean converges reliably even
+// for theta where the uncensored ratio has infinite variance.
+func TestTiltedWeightsIntegrateToOne(t *testing.T) {
+	const (
+		theta   = 5.0
+		horizon = 20000.0
+		n       = 400000
+	)
+	d := MustWeibull(1.12, 461386, 0)
+	r := rng.New(11)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x, h := SampleHazardScaled(d, theta, r)
+		var logLR float64
+		if x > horizon {
+			logLR = HazardScaleCensoredLogRatio(d, theta, horizon)
+		} else {
+			logLR = (theta-1)*h - math.Log(theta)
+		}
+		sum += math.Exp(logLR)
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("E_g[W] = %v, want 1 (censored weights)", mean)
+	}
+}

@@ -121,6 +121,26 @@ func (w Weibull) Hazard(t float64) float64 {
 	return (w.shape / w.scale) * math.Pow(z, w.shape-1)
 }
 
+// LogPDF returns ln f(t), computed in log space so that far-tail densities
+// underflowing PDF still yield a finite log density.
+func (w Weibull) LogPDF(t float64) float64 {
+	if t < w.loc {
+		return math.Inf(-1)
+	}
+	z := (t - w.loc) / w.scale
+	if z == 0 {
+		switch {
+		case w.shape < 1:
+			return math.Inf(1)
+		case w.shape == 1:
+			return -math.Log(w.scale)
+		default:
+			return math.Inf(-1)
+		}
+	}
+	return math.Log(w.shape/w.scale) + (w.shape-1)*math.Log(z) - math.Pow(z, w.shape)
+}
+
 // CumHazard returns the cumulative hazard H(t) = ((t-γ)/η)^β.
 func (w Weibull) CumHazard(t float64) float64 {
 	if t <= w.loc {

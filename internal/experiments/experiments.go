@@ -21,6 +21,12 @@ type Options struct {
 	Seed uint64
 	// CurvePoints is the grid resolution of cumulative curves.
 	CurvePoints int
+	// BiasOp, when not 0 or 1, enables failure-biased importance sampling
+	// at that operational-hazard scale factor: every configuration is
+	// simulated under the tilted measure and all curves and totals are
+	// likelihood-ratio weighted, resolving rare-event cells with far fewer
+	// iterations.
+	BiasOp float64
 }
 
 // Default returns paper-scale options: 10,000 groups per configuration.
@@ -60,6 +66,7 @@ func (s Series) Final() float64 {
 
 // runSeries simulates params and samples its cumulative DDF curve.
 func runSeries(name string, p core.Params, opt Options) (Series, *core.Result, error) {
+	p.Bias.Op = opt.BiasOp
 	m, err := core.New(p)
 	if err != nil {
 		return Series{}, nil, fmt.Errorf("experiments: %s: %w", name, err)
@@ -181,7 +188,9 @@ func Figure8(opt Options) ([]ROCOFSeries, error) {
 		{"no scrub", 0},
 		{"168 h scrub", 168},
 	} {
-		m, err := core.New(core.BaseCase().WithScrubPeriod(cfg.hours))
+		p := core.BaseCase().WithScrubPeriod(cfg.hours)
+		p.Bias.Op = opt.BiasOp
+		m, err := core.New(p)
 		if err != nil {
 			return nil, err
 		}
@@ -277,6 +286,7 @@ func Table3(opt Options) ([]Table3Row, error) {
 		// Table 3 is a first-year quantity; simulating one year keeps the
 		// paper-scale run cheap without changing the counted window.
 		p.MissionHours = analytic.HoursPerYear
+		p.Bias.Op = opt.BiasOp
 		m, err := core.New(p)
 		if err != nil {
 			return nil, err

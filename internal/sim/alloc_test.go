@@ -30,7 +30,7 @@ func TestSimulateIntoZeroAlloc(t *testing.T) {
 	found := false
 	for s := uint64(0); s < 100; s++ {
 		r.SeedStream(1, s)
-		buf, err = eng.SimulateInto(cfg, &r, buf[:0])
+		buf, _, err = eng.SimulateInto(cfg, &r, buf[:0])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func TestSimulateIntoZeroAlloc(t *testing.T) {
 
 	allocs := testing.AllocsPerRun(200, func() {
 		r.SeedStream(1, stream)
-		buf, err = eng.SimulateInto(cfg, &r, buf[:0])
+		buf, _, err = eng.SimulateInto(cfg, &r, buf[:0])
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+// Bias configures failure-biased importance sampling (Greenan's standard
+// rare-event fix, arXiv:1310.4702 §6): during sampling, selected hazards
+// are scaled up by a factor θ so DDFs become orders of magnitude more
+// frequent, and every iteration carries a likelihood-ratio weight
+// W = Π f(x)/g(x) that keeps the weighted estimator unbiased.
+//
+// A factor of 0 or 1 leaves that process unbiased (plain Monte Carlo).
+type Bias struct {
+	// Op scales the operational-failure (TTOp) hazard. This is the
+	// effective lever: a DDF needs an operational failure inside another
+	// failure's restore window (rate ∝ θ²) or on top of a latent defect
+	// (rate ∝ θ), and operational failures are genuinely rare over a
+	// mission, so the weights stay well-behaved.
+	Op float64
+	// Ld scales the renewal latent-defect (TTLd) hazard. Use cautiously:
+	// at the paper's parameters defects are not rare (≈9.5 arrivals per
+	// drive-mission), so tilting them inflates weight variance
+	// exponentially in the arrival count and usually hurts. Unsupported
+	// for the NHPP defect process (TTLdRate).
+	Ld float64
+}
+
+// Enabled reports whether any hazard is tilted.
+func (b Bias) Enabled() bool { return b.opEnabled() || b.ldEnabled() }
+
+func (b Bias) opEnabled() bool { return b.Op != 0 && b.Op != 1 }
+func (b Bias) ldEnabled() bool { return b.Ld != 0 && b.Ld != 1 }
+
+// validate checks the factors in isolation; cross-field rules (NHPP
+// exclusion) live in Config.Validate.
+func (b Bias) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"op", b.Op}, {"ld", b.Ld}} {
+		if f.v == 0 {
+			continue
+		}
+		if !(f.v > 0) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: %s bias factor must be positive and finite, got %v", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// sampleTilted draws dt from the proportional-hazards tilt of d by theta
+// and returns it with the draw's log likelihood ratio. The caller
+// schedules the event at from+dt and discards it past the horizon, so the
+// ratio is censored at the residual horizon m: a draw landing beyond m
+// contributes the ratio of survival masses S_f(m)/S_g(m) rather than the
+// density ratio at dt. Censoring is what keeps every weight factor
+// bounded — the uncensored per-draw ratio has unbounded second moment for
+// theta >= 2, which would make the weighted estimator's variance infinite.
+func sampleTilted(d dist.Distribution, theta, m float64, r *rng.RNG) (dt, logLR float64) {
+	dt, h := dist.SampleHazardScaled(d, theta, r)
+	if dt > m {
+		return dt, dist.HazardScaleCensoredLogRatio(d, theta, m)
+	}
+	return dt, (theta-1)*h - math.Log(theta)
+}

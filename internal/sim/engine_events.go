@@ -60,36 +60,43 @@ type eventSim struct {
 	seq, defectID int64
 	suppressUntil float64
 	ddfs          []DDF
+	// logW accumulates the iteration's importance-sampling log
+	// likelihood ratio; stays exactly 0 when cfg.Bias is disabled.
+	logW float64
 }
 
 // eventSimPool recycles scratch across SimulateInto calls so that
 // concurrent workers each converge on their own warmed-up state.
 var eventSimPool = sync.Pool{New: func() any { return new(eventSim) }}
 
-// Simulate implements Engine.
+// Simulate implements Engine, discarding the importance-sampling weight.
 func (e EventEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
-	return e.SimulateInto(cfg, r, nil)
+	out, _, err := e.SimulateInto(cfg, r, nil)
+	return out, err
 }
 
 // SimulateInto implements IntoSimulator: it runs one chronology appending
-// the DDFs to buf (which may be nil) and returns the extended slice. The
-// engine's internal scratch — event queue, slot state, defect lists — is
-// pooled and reused, so the steady-state per-iteration cost of an
-// event-free chronology is zero allocations.
-func (EventEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, error) {
+// the DDFs to buf (which may be nil) and returns the extended slice plus
+// the iteration's log likelihood-ratio weight. The engine's internal
+// scratch — event queue, slot state, defect lists — is pooled and reused,
+// so the steady-state per-iteration cost of an event-free chronology is
+// zero allocations.
+func (EventEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, float64, error) {
 	s := eventSimPool.Get().(*eventSim)
-	out, err := s.run(cfg, r, nil, buf)
+	out, logW, err := s.run(cfg, r, nil, buf)
 	s.release()
 	eventSimPool.Put(s)
-	return out, err
+	return out, logW, err
 }
 
 // SimulateTraced runs one chronology while streaming every event (drive
 // failures, restores, defect creations and corrections, DDFs) to obs in
-// time order. Pass a *Trace to record the full Fig.-5-style timeline.
+// time order. Pass a *Trace to record the full Fig.-5-style timeline. The
+// importance-sampling weight is discarded; tracing is a debugging aid, not
+// an estimation path.
 func SimulateTraced(cfg Config, r *rng.RNG, obs Observer) ([]DDF, error) {
 	s := eventSimPool.Get().(*eventSim)
-	out, err := s.run(cfg, r, obs, nil)
+	out, _, err := s.run(cfg, r, obs, nil)
 	s.release()
 	eventSimPool.Put(s)
 	return out, err
@@ -119,20 +126,34 @@ func (s *eventSim) push(t float64, kind eventKind, slot, gen int, id int64, arg 
 }
 
 func (s *eventSim) scheduleOpFail(slot int, from float64) {
-	s.push(from+s.cfg.ttopFor(slot).Sample(s.r), evOpFail, slot, s.slots[slot].gen, 0, 0)
+	d := s.cfg.ttopFor(slot)
+	var dt float64
+	if s.cfg.Bias.opEnabled() {
+		// Tilted draw, likelihood ratio censored at the residual mission:
+		// push discards from+dt > Mission, i.e. dt > Mission-from.
+		var logLR float64
+		dt, logLR = sampleTilted(d, s.cfg.Bias.Op, s.cfg.Mission-from, s.r)
+		s.logW += logLR
+	} else {
+		dt = d.Sample(s.r)
+	}
+	s.push(from+dt, evOpFail, slot, s.slots[slot].gen, 0, 0)
 }
 
 func (s *eventSim) scheduleDefect(slot int, from float64) {
 	if !s.cfg.Trans.latentEnabled() {
 		return
 	}
-	s.push(s.cfg.nextDefect(from, s.r), evDefectArrive, slot, s.slots[slot].gen, 0, 0)
+	t, logLR := s.cfg.nextDefect(from, s.cfg.Mission, s.r)
+	s.logW += logLR
+	s.push(t, evDefectArrive, slot, s.slots[slot].gen, 0, 0)
 }
 
-// run executes one chronology, appending DDFs to buf.
-func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, error) {
+// run executes one chronology, appending DDFs to buf and accumulating the
+// iteration's importance-sampling log weight.
+func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, float64, error) {
 	if err := cfg.Validate(); err != nil {
-		return buf, err
+		return buf, 0, err
 	}
 	s.cfg, s.r, s.obs = cfg, r, obs
 	if cap(s.slots) < cfg.Drives {
@@ -147,6 +168,7 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 	}
 	s.q.reset()
 	s.seq, s.defectID, s.suppressUntil = 0, 0, 0
+	s.logW = 0
 	s.spares = newSparePool(cfg.Spares) // nil (no allocation) for the default infinite pool
 	s.ddfs = buf
 
@@ -265,5 +287,10 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			sl.defects = kept
 		}
 	}
-	return s.ddfs, nil
+	// Every tilted draw contributes to logW, including those later voided
+	// by generation checks or left pending at mission end: the weight of a
+	// sequentially sampled path is the product over all draws actually
+	// made under the biased measure (the draws define the path's density,
+	// whether or not the chronology ends up using them).
+	return s.ddfs, s.logW, nil
 }

@@ -56,19 +56,21 @@ type intervalScratch struct {
 
 var intervalScratchPool = sync.Pool{New: func() any { return new(intervalScratch) }}
 
-// Simulate implements Engine.
+// Simulate implements Engine, discarding the importance-sampling weight.
 func (e IntervalEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
-	return e.SimulateInto(cfg, r, nil)
+	out, _, err := e.SimulateInto(cfg, r, nil)
+	return out, err
 }
 
 // SimulateInto implements IntoSimulator: one chronology, DDFs appended to
-// buf, internal scratch pooled and reused across calls.
-func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, error) {
+// buf, internal scratch pooled and reused across calls. The returned logW
+// is the iteration's importance-sampling log weight (0 when unbiased).
+func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, float64, error) {
 	if err := cfg.Validate(); err != nil {
-		return buf, err
+		return buf, 0, err
 	}
 	if cfg.Spares != nil {
-		return buf, fmt.Errorf("sim: the interval engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
+		return buf, 0, fmt.Errorf("sim: the interval engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
 	}
 	sc := intervalScratchPool.Get().(*intervalScratch)
 	defer intervalScratchPool.Put(sc)
@@ -79,10 +81,11 @@ func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, er
 	}
 	sc.chrons = sc.chrons[:cfg.Drives]
 	chrons := sc.chrons
+	logW := 0.0
 	for i := range chrons {
 		chrons[i].ops = chrons[i].ops[:0]
 		chrons[i].defects = chrons[i].defects[:0]
-		buildSlotChronology(cfg, i, r, &chrons[i])
+		logW += buildSlotChronology(cfg, i, r, &chrons[i])
 	}
 
 	// Merge every operational failure, tagged with its slot.
@@ -137,7 +140,7 @@ func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, er
 			}
 		}
 	}
-	return buf, nil
+	return buf, logW, nil
 }
 
 // opFailedAt reports whether the slot is inside a failure episode at t.
@@ -152,18 +155,37 @@ func opFailedAt(ops []opInterval, t float64) bool {
 // drive generation g runs from its installation (the previous drive's
 // failure time) to its own failure; defects arrive by renewal within that
 // window and end at scrub completion or the drive's own failure, whichever
-// is first.
-func buildSlotChronology(cfg Config, slot int, r *rng.RNG, ch *slotChronology) {
+// is first. Returns the slot's importance-sampling log weight.
+//
+// Under bias the two engines censor defect chains at different horizons
+// (this engine at the generation window, the event engine at the mission),
+// so per-iteration weights differ between engines even on the same stream;
+// both weightings are valid for their own chronology construction and the
+// weighted estimates agree statistically.
+func buildSlotChronology(cfg Config, slot int, r *rng.RNG, ch *slotChronology) float64 {
+	logW := 0.0
 	genStart := 0.0 // installation time of the current drive
 	upFrom := 0.0   // operational-clock start of the current drive
 	for {
-		fail := upFrom + cfg.ttopFor(slot).Sample(r)
+		d := cfg.ttopFor(slot)
+		var dt float64
+		if cfg.Bias.opEnabled() {
+			// Censored at the residual mission: a drive whose failure lands
+			// past the mission contributes no further in-mission episodes,
+			// matching the event engine's discard boundary.
+			var logLR float64
+			dt, logLR = sampleTilted(d, cfg.Bias.Op, cfg.Mission-upFrom, r)
+			logW += logLR
+		} else {
+			dt = d.Sample(r)
+		}
+		fail := upFrom + dt
 		end := fail
 		if end > cfg.Mission {
 			end = cfg.Mission
 		}
 		if cfg.Trans.latentEnabled() {
-			appendDefects(cfg, r, ch, genStart, end, fail)
+			logW += appendDefects(cfg, r, ch, genStart, end, fail)
 		}
 		if fail > cfg.Mission {
 			break
@@ -178,17 +200,23 @@ func buildSlotChronology(cfg Config, slot int, r *rng.RNG, ch *slotChronology) {
 			break
 		}
 	}
+	return logW
 }
 
 // appendDefects renewal-samples defect arrivals on [genStart, windowEnd)
 // and records their lifetimes, truncated at driveFail (the drive's own
-// failure clears its defects).
-func appendDefects(cfg Config, r *rng.RNG, ch *slotChronology, genStart, windowEnd, driveFail float64) {
+// failure clears its defects). Returns the chain's importance-sampling
+// log weight; biased arrivals are censored at windowEnd, the boundary
+// past which the chain stops.
+func appendDefects(cfg Config, r *rng.RNG, ch *slotChronology, genStart, windowEnd, driveFail float64) float64 {
+	logW := 0.0
 	t := genStart
 	for {
-		t = cfg.nextDefect(t, r)
+		next, logLR := cfg.nextDefect(t, windowEnd, r)
+		logW += logLR
+		t = next
 		if t >= windowEnd {
-			return
+			return logW
 		}
 		end := math.Inf(1)
 		if cfg.Trans.TTScrub != nil {

@@ -31,6 +31,9 @@ func (f FleetConfig) Validate() error {
 	if f.Group.Spares != nil {
 		return fmt.Errorf("sim: fleet groups must not carry their own spare pools; use SharedSpares")
 	}
+	if f.Group.Bias.Enabled() {
+		return fmt.Errorf("sim: fleet simulation does not support importance sampling (no weight channel in its output)")
+	}
 	if err := f.Group.Validate(); err != nil {
 		return err
 	}
@@ -78,7 +81,9 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 		if !g.Trans.latentEnabled() {
 			return
 		}
-		push(g.nextDefect(from, r), evDefectArrive, slot, slots[slot].gen, 0, 0)
+		// Bias is rejected by Validate, so the log ratio is always 0 here.
+		t, _ := g.nextDefect(from, g.Mission, r)
+		push(t, evDefectArrive, slot, slots[slot].gen, 0, 0)
 	}
 	for i := 0; i < total; i++ {
 		scheduleOpFail(i, 0)

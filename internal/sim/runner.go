@@ -126,6 +126,7 @@ const collectWindow = 256
 // handoff is one simulated iteration crossing from a worker to the merger.
 type handoff struct {
 	ddfs []DDF
+	logW float64
 	err  error
 }
 
@@ -161,6 +162,11 @@ func RunCollect(spec RunSpec, c Collector) error {
 		engine = EventEngine{}
 	}
 	into, hasInto := engine.(IntoSimulator)
+	if spec.Config.Bias.Enabled() && !hasInto {
+		// Engine.Simulate has no channel for the likelihood-ratio weight;
+		// silently running it biased would corrupt the estimate.
+		return fmt.Errorf("sim: importance sampling requires an engine implementing IntoSimulator (weights would be lost)")
+	}
 
 	// done releases workers blocked on a full channel when the merger
 	// aborts early on an error.
@@ -178,7 +184,7 @@ func RunCollect(spec RunSpec, c Collector) error {
 				r.SeedStream(spec.Seed, uint64(spec.Offset+i))
 				var h handoff
 				if hasInto {
-					buf, h.err = into.SimulateInto(spec.Config, &r, buf[:0])
+					buf, h.logW, h.err = into.SimulateInto(spec.Config, &r, buf[:0])
 					if h.err == nil && len(buf) > 0 {
 						// The buffer is reused next iteration; only the rare
 						// event-bearing result is copied out.
@@ -205,7 +211,7 @@ func RunCollect(spec RunSpec, c Collector) error {
 		if h.err != nil {
 			return h.err
 		}
-		c.Observe(i, h.ddfs)
+		c.Observe(i, h.ddfs, h.logW)
 	}
 	return nil
 }

@@ -103,6 +103,11 @@ type Config struct {
 	// supports finite spares: the pool couples the drive slots, which the
 	// per-slot interval engine cannot express.
 	Spares *SparePolicy
+	// Bias optionally turns on failure-biased importance sampling: hazards
+	// are scaled up during sampling and each iteration carries a
+	// likelihood-ratio weight so the weighted estimator stays unbiased.
+	// The zero value is plain (unbiased) Monte Carlo.
+	Bias Bias
 }
 
 // Validate checks the configuration.
@@ -140,6 +145,15 @@ func (c Config) Validate() error {
 	if err := c.Spares.Validate(); err != nil {
 		return err
 	}
+	if err := c.Bias.validate(); err != nil {
+		return err
+	}
+	if c.Bias.ldEnabled() && c.Trans.TTLd == nil {
+		if c.Trans.TTLdRate != nil {
+			return fmt.Errorf("sim: latent-defect bias is unsupported for the NHPP defect process (TTLdRate)")
+		}
+		return fmt.Errorf("sim: latent-defect bias set but latent defects disabled (TTLd nil)")
+	}
 	return nil
 }
 
@@ -153,17 +167,20 @@ func (c Config) ttopFor(slot int) dist.Distribution {
 }
 
 // nextDefect returns the absolute time of the next latent-defect arrival
-// after `from`, or +Inf when the defect process is disabled. The
-// homogeneous case renewal-samples TTLd; the NHPP case thins a Poisson
-// stream at TTLdRateMax against the instantaneous rate.
-func (c Config) nextDefect(from float64, r *rng.RNG) float64 {
+// after `from`, or +Inf when the defect process is disabled, together with
+// the draw's importance-sampling log likelihood ratio (0 unless Bias.Ld is
+// active). The homogeneous case renewal-samples TTLd — tilted and censored
+// at `horizon`, the time beyond which the caller discards the arrival;
+// the NHPP case thins a Poisson stream at TTLdRateMax against the
+// instantaneous rate.
+func (c Config) nextDefect(from, horizon float64, r *rng.RNG) (float64, float64) {
 	switch {
 	case c.Trans.TTLdRate != nil:
 		t := from
 		for {
 			t += r.ExpFloat64() / c.Trans.TTLdRateMax
 			if t > c.Mission {
-				return t // beyond the horizon; caller discards
+				return t, 0 // beyond the horizon; caller discards
 			}
 			rate := c.Trans.TTLdRate(t)
 			if rate < 0 || rate > c.Trans.TTLdRateMax {
@@ -176,17 +193,25 @@ func (c Config) nextDefect(from float64, r *rng.RNG) float64 {
 				}
 			}
 			if r.Float64()*c.Trans.TTLdRateMax < rate {
-				return t
+				return t, 0
 			}
 		}
 	case c.Trans.TTLd != nil:
-		return from + c.Trans.TTLd.Sample(r)
+		if c.Bias.ldEnabled() {
+			dt, logLR := sampleTilted(c.Trans.TTLd, c.Bias.Ld, horizon-from, r)
+			return from + dt, logLR
+		}
+		return from + c.Trans.TTLd.Sample(r), 0
 	default:
-		return math.Inf(1)
+		return math.Inf(1), 0
 	}
 }
 
 // Engine simulates one RAID-group chronology and returns its DDF events.
+//
+// Simulate discards the iteration's importance-sampling weight; runs with
+// cfg.Bias enabled must go through IntoSimulator (the runner enforces
+// this) so the weight reaches the estimator.
 type Engine interface {
 	// Simulate runs one iteration of the group chronology using r and
 	// returns the DDFs in chronological order.
@@ -200,6 +225,10 @@ type Engine interface {
 // that reuses one buffer per worker simulates in a zero-allocation steady
 // state. Engines that implement it must produce bit-identical results to
 // their Simulate method.
+//
+// logW is the iteration's importance-sampling log likelihood-ratio weight,
+// the sum of ln(f/g) over every variate drawn from a tilted distribution;
+// exactly 0 when cfg.Bias is disabled.
 type IntoSimulator interface {
-	SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, error)
+	SimulateInto(cfg Config, r *rng.RNG, buf []DDF) (out []DDF, logW float64, err error)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"sort"
 	"sync"
 )
@@ -11,20 +12,24 @@ import (
 // concurrently — so a Collector needs no locking and sees the same
 // sequence a serial loop would produce. ddfs is in chronological order and
 // may be nil for the (overwhelmingly common) event-free group; the slice
-// is owned by the collector after the call.
+// is owned by the collector after the call. logW is the iteration's
+// importance-sampling log weight, exactly 0 for unbiased runs.
 type Collector interface {
-	Observe(iteration int, ddfs []DDF)
+	Observe(iteration int, ddfs []DDF, logW float64)
 }
 
 // CollectorFunc adapts a function to the Collector interface.
-type CollectorFunc func(iteration int, ddfs []DDF)
+type CollectorFunc func(iteration int, ddfs []DDF, logW float64)
 
 // Observe implements Collector.
-func (f CollectorFunc) Observe(iteration int, ddfs []DDF) { f(iteration, ddfs) }
+func (f CollectorFunc) Observe(iteration int, ddfs []DDF, logW float64) { f(iteration, ddfs, logW) }
 
 // GroupEvent is one DDF tagged with the group (iteration) it occurred in.
 type GroupEvent struct {
 	Group int
+	// LogW is the group's importance-sampling log likelihood-ratio weight,
+	// shared by every event of the group; exactly 0 for unbiased runs.
+	LogW float64
 	DDF
 }
 
@@ -34,9 +39,14 @@ type GroupEvent struct {
 // costs O(events) memory where RunResult's PerGroup costs O(iterations).
 // It implements Collector, accumulating directly from the runner.
 //
-// Invariant: Events is sorted by (Group, Time). The runner's in-order
-// Observe stream and Merge both preserve it; code assembling a
-// SparseResult by hand must too.
+// Invariant: Events is sorted by (Group, Time), with one LogW per group
+// repeated on each of its events. The runner's in-order Observe stream and
+// Merge both preserve it; code assembling a SparseResult by hand must too.
+//
+// Methods are safe for concurrent use: a single mutex serializes
+// accumulation (Observe, Merge, Tally) against queries, so a live progress
+// reader may call Times or DDFsBefore while a campaign is still observing.
+// Direct field access is only safe once accumulation has quiesced.
 type SparseResult struct {
 	// Groups is the total number of simulated groups, including the empty
 	// ones that contribute no Events entries.
@@ -48,17 +58,27 @@ type SparseResult struct {
 	// OpOpDDFs and LdOpDDFs split the total by cause.
 	OpOpDDFs, LdOpDDFs int
 
+	// mu guards every field. The per-iteration Observe cost is one
+	// uncontended lock/unlock — noise next to a chronology simulation —
+	// and the hot event-free path allocates nothing.
+	mu sync.Mutex
 	// flatTimes caches the sorted flat event-time slice behind DDFsBefore
-	// and Times.
-	flatOnce  sync.Once
-	flatTimes []float64
+	// and Times; flatWeights, parallel to it, holds each event's weight
+	// exp(LogW) and is built only for weighted results.
+	flatTimes   []float64
+	flatWeights []float64
 }
 
 var _ Collector = (*SparseResult)(nil)
 
 // Observe implements Collector: it records iteration's events and counts
-// the group whether or not it produced any.
-func (r *SparseResult) Observe(iteration int, ddfs []DDF) {
+// the group whether or not it produced any. The log weight of an
+// event-free group is dropped — every estimator this result feeds
+// (Bernoulli numerator, MCF, cause split) sums weights over event groups
+// only, with empty groups contributing exact zeros.
+func (r *SparseResult) Observe(iteration int, ddfs []DDF, logW float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if iteration >= r.Groups {
 		r.Groups = iteration + 1
 	}
@@ -66,10 +86,10 @@ func (r *SparseResult) Observe(iteration int, ddfs []DDF) {
 		return
 	}
 	for _, d := range ddfs {
-		r.Events = append(r.Events, GroupEvent{Group: iteration, DDF: d})
+		r.Events = append(r.Events, GroupEvent{Group: iteration, LogW: logW, DDF: d})
 		r.tallyOne(d.Cause)
 	}
-	r.invalidate()
+	r.invalidateLocked()
 }
 
 func (r *SparseResult) tallyOne(c Cause) {
@@ -82,25 +102,32 @@ func (r *SparseResult) tallyOne(c Cause) {
 	}
 }
 
-func (r *SparseResult) invalidate() {
-	r.flatOnce = sync.Once{}
+// invalidateLocked drops the derived caches; r.mu must be held.
+func (r *SparseResult) invalidateLocked() {
 	r.flatTimes = nil
+	r.flatWeights = nil
 }
 
 // Tally recomputes the aggregate counts from Events — for results
 // assembled by hand, e.g. restored from a campaign checkpoint.
 func (r *SparseResult) Tally() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.TotalDDFs, r.OpOpDDFs, r.LdOpDDFs = 0, 0, 0
 	for _, e := range r.Events {
 		r.tallyOne(e.Cause)
 	}
+	r.invalidateLocked()
 }
 
 // Merge appends another result's groups after r's and retallies: merging
 // runs [0,k) and [k,n) (the latter simulated with Offset k) yields exactly
 // the result of a single n-iteration run. The other result's group indices
-// are shifted by r.Groups.
+// are shifted by r.Groups. The other result must be quiescent for the
+// duration of the call.
 func (r *SparseResult) Merge(other *SparseResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	base := r.Groups
 	for _, e := range other.Events {
 		e.Group += base
@@ -110,22 +137,71 @@ func (r *SparseResult) Merge(other *SparseResult) {
 	r.TotalDDFs += other.TotalDDFs
 	r.OpOpDDFs += other.OpOpDDFs
 	r.LdOpDDFs += other.LdOpDDFs
-	r.invalidate()
+	r.invalidateLocked()
+}
+
+// Weighted reports whether any group carries a non-unit importance-sampling
+// weight — i.e. whether the run was biased and the weighted estimators
+// differ from the plain counts.
+func (r *SparseResult) Weighted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.Events {
+		if e.LogW != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// flatLocked builds (if stale) and returns the time-sorted event times
+// and, for weighted results, the parallel per-event weights (nil
+// otherwise). r.mu must be held.
+func (r *SparseResult) flatLocked() ([]float64, []float64) {
+	if r.flatTimes == nil {
+		idx := make([]int, len(r.Events))
+		weighted := false
+		for i, e := range r.Events {
+			idx[i] = i
+			weighted = weighted || e.LogW != 0
+		}
+		sort.Slice(idx, func(a, b int) bool { return r.Events[idx[a]].Time < r.Events[idx[b]].Time })
+		ts := make([]float64, len(idx))
+		for i, j := range idx {
+			ts[i] = r.Events[j].Time
+		}
+		r.flatTimes = ts
+		r.flatWeights = nil
+		if weighted {
+			ws := make([]float64, len(idx))
+			for i, j := range idx {
+				ws[i] = math.Exp(r.Events[j].LogW)
+			}
+			r.flatWeights = ws
+		}
+	}
+	return r.flatTimes, r.flatWeights
 }
 
 // Times returns all event times across groups, ascending, built once and
-// cached. Events must not be mutated after the first call. The slice is
-// shared; callers must not modify it.
+// cached. The slice is shared and must be treated as immutable; it remains
+// valid (as a stale snapshot) if the result keeps accumulating.
 func (r *SparseResult) Times() []float64 {
-	r.flatOnce.Do(func() {
-		ts := make([]float64, len(r.Events))
-		for i, e := range r.Events {
-			ts[i] = e.Time
-		}
-		sort.Float64s(ts)
-		r.flatTimes = ts
-	})
-	return r.flatTimes
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, _ := r.flatLocked()
+	return ts
+}
+
+// TimesAndWeights returns all event times across groups, ascending, with
+// each event's importance-sampling weight exp(LogW) in the parallel second
+// slice — the inputs of the weighted MCF. The weight slice is nil for
+// unbiased results (every weight 1). Both slices are shared; callers must
+// not modify them.
+func (r *SparseResult) TimesAndWeights() ([]float64, []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flatLocked()
 }
 
 // DDFsBefore counts events at or before t across all groups — a binary
@@ -140,6 +216,8 @@ func (r *SparseResult) DDFsBefore(t float64) int {
 // Bernoulli numerator of the campaign stopping rule — in one pass over the
 // sparse index, never touching the empty groups.
 func (r *SparseResult) GroupsWithDDF() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := 0
 	for i, e := range r.Events {
 		if i == 0 || e.Group != r.Events[i-1].Group {
@@ -149,21 +227,44 @@ func (r *SparseResult) GroupsWithDDF() int {
 	return n
 }
 
+// GroupWeights returns each event-bearing group's importance-sampling
+// weight exp(LogW), in group order — the nonzero observations of the
+// weighted estimator p̂ = (1/n)·ΣW over groups with a DDF (every empty
+// group contributes an exact zero). For an unbiased result this is a slice
+// of ones.
+func (r *SparseResult) GroupWeights() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ws []float64
+	for i, e := range r.Events {
+		if i == 0 || e.Group != r.Events[i-1].Group {
+			ws = append(ws, math.Exp(e.LogW))
+		}
+	}
+	return ws
+}
+
 // GroupCounts returns, for each group with at least one event at or before
-// t, that group's event count. The implied remaining Groups-len(counts)
-// groups all count zero. Cost is O(events), independent of Groups.
+// t, that group's weighted event count — the raw count times the group's
+// importance-sampling weight, which is the raw count itself for unbiased
+// runs (weight exactly 1). The implied remaining Groups-len(counts) groups
+// all count zero. Cost is O(events), independent of Groups.
 func (r *SparseResult) GroupCounts(t float64) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var counts []float64
 	cur, n := -1, 0
+	w := 1.0
 	flush := func() {
 		if cur >= 0 && n > 0 {
-			counts = append(counts, float64(n))
+			counts = append(counts, float64(n)*w)
 		}
 	}
 	for _, e := range r.Events {
 		if e.Group != cur {
 			flush()
 			cur, n = e.Group, 0
+			w = math.Exp(e.LogW)
 		}
 		if e.Time <= t {
 			n++
@@ -173,11 +274,33 @@ func (r *SparseResult) GroupCounts(t float64) []float64 {
 	return counts
 }
 
+// WeightedCauseTotals returns the importance-weighted event totals overall
+// and split by cause: each event counts its group's weight exp(LogW). For
+// an unbiased result the sums of exact 1.0s equal the integer tallies.
+func (r *SparseResult) WeightedCauseTotals() (total, opop, ldop float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.Events {
+		w := math.Exp(e.LogW)
+		total += w
+		switch e.Cause {
+		case CauseOpOp:
+			opop += w
+		case CauseLdOp:
+			ldop += w
+		}
+	}
+	return total, opop, ldop
+}
+
 // Dense materializes the sparse result as a RunResult, the store-everything
 // representation with one PerGroup entry per iteration. Groups without
 // events get a nil slice, matching what engines return for an event-free
-// chronology.
+// chronology. Importance-sampling weights do not survive the conversion;
+// Dense exists for the unbiased compatibility path.
 func (r *SparseResult) Dense() *RunResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := &RunResult{
 		PerGroup:  make([][]DDF, r.Groups),
 		TotalDDFs: r.TotalDDFs,

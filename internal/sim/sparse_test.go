@@ -2,6 +2,7 @@ package sim
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"raidrel/internal/rng"
@@ -20,7 +21,7 @@ func TestRunSparseMatchesSerialSimulate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want.Observe(i, ddfs)
+		want.Observe(i, ddfs, 0)
 	}
 	if want.TotalDDFs == 0 {
 		t.Fatal("fast config produced no DDFs; test is vacuous")
@@ -70,7 +71,10 @@ func TestRunCollectObservesInOrder(t *testing.T) {
 	const n = 500
 	next := 0
 	err := RunCollect(RunSpec{Config: fastConfig(), Iterations: n, Seed: 5, Workers: 7},
-		CollectorFunc(func(iteration int, ddfs []DDF) {
+		CollectorFunc(func(iteration int, ddfs []DDF, logW float64) {
+			if logW != 0 {
+				t.Fatalf("iteration %d: unbiased run has nonzero log weight %v", iteration, logW)
+			}
 			if iteration != next {
 				t.Fatalf("observed iteration %d, want %d", iteration, next)
 			}
@@ -150,11 +154,11 @@ func TestSparseMergeComposition(t *testing.T) {
 
 func TestSparseResultHelpers(t *testing.T) {
 	r := &SparseResult{}
-	r.Observe(0, nil)
-	r.Observe(1, []DDF{{Time: 50, Cause: CauseOpOp}, {Time: 60, Cause: CauseLdOp}})
-	r.Observe(2, nil)
-	r.Observe(3, []DDF{{Time: 10, Cause: CauseLdOp}})
-	r.Observe(4, nil)
+	r.Observe(0, nil, 0)
+	r.Observe(1, []DDF{{Time: 50, Cause: CauseOpOp}, {Time: 60, Cause: CauseLdOp}}, 0)
+	r.Observe(2, nil, 0)
+	r.Observe(3, []DDF{{Time: 10, Cause: CauseLdOp}}, 0)
+	r.Observe(4, nil, 0)
 
 	if r.Groups != 5 {
 		t.Errorf("Groups = %d, want 5", r.Groups)
@@ -195,4 +199,48 @@ func TestSparseResultHelpers(t *testing.T) {
 	if !reflect.DeepEqual(dense.PerGroup[1], []DDF{{Time: 50, Cause: CauseOpOp}, {Time: 60, Cause: CauseLdOp}}) {
 		t.Error("Dense group 1 wrong")
 	}
+}
+
+// Regression test for the cache-invalidation race: a live progress reader
+// querying a SparseResult while a campaign keeps accumulating must be
+// safe. The original code rebuilt the flat-times cache under a sync.Once
+// that Observe reassigned concurrently — a data race the -race detector
+// flags; the mutex version must stay silent.
+func TestSparseResultConcurrentAccess(t *testing.T) {
+	r := &SparseResult{}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var ddfs []DDF
+			if i%3 == 0 {
+				ddfs = []DDF{{Time: float64(i % 100), Cause: CauseOpOp}}
+			}
+			r.Observe(i, ddfs, 0)
+			if i%50 == 0 {
+				other := &SparseResult{}
+				other.Observe(0, []DDF{{Time: 1, Cause: CauseLdOp}}, 0.5)
+				r.Merge(other)
+			}
+		}
+	}()
+	for j := 0; j < 2000; j++ {
+		r.Times()
+		r.TimesAndWeights()
+		r.DDFsBefore(50)
+		r.GroupsWithDDF()
+		r.GroupWeights()
+		r.GroupCounts(75)
+		r.WeightedCauseTotals()
+		r.Weighted()
+	}
+	close(done)
+	wg.Wait()
 }

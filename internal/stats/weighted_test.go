@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestESS(t *testing.T) {
+	if got := ESS(nil); got != 0 {
+		t.Errorf("ESS(nil) = %v, want 0", got)
+	}
+	if got := ESS([]float64{0, 0}); got != 0 {
+		t.Errorf("ESS(zeros) = %v, want 0", got)
+	}
+	// Equal weights: ESS equals the count regardless of magnitude.
+	if got := ESS([]float64{0.25, 0.25, 0.25, 0.25}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("ESS(equal) = %v, want 4", got)
+	}
+	// One dominant weight: ESS collapses toward 1.
+	if got := ESS([]float64{100, 1e-6, 1e-6}); got > 1.001 {
+		t.Errorf("ESS(dominant) = %v, want ~1", got)
+	}
+	// Hand-computed: (1+3)² / (1+9) = 1.6.
+	if got := ESS([]float64{1, 3}); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("ESS([1 3]) = %v, want 1.6", got)
+	}
+}
+
+func TestWeightedBernoulliCI(t *testing.T) {
+	// All-unit weights must agree exactly with the sparse normal CI over
+	// 0/1 observations (the unbiased estimator's normal approximation).
+	ones := []float64{1, 1, 1}
+	want, err := NormalMeanCISparse(ones, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WeightedBernoulliCI(ones, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("unit-weight CI %+v != sparse normal CI %+v", got, want)
+	}
+	mid := (got.Lo + got.Hi) / 2
+	if math.Abs(mid-0.03) > 1e-12 {
+		t.Errorf("midpoint %v, want 0.03", mid)
+	}
+
+	for _, bad := range [][]float64{{math.NaN()}, {math.Inf(1)}, {-1}} {
+		if _, err := WeightedBernoulliCI(bad, 10, 0.95); err == nil {
+			t.Errorf("invalid weight %v accepted", bad)
+		}
+	}
+}
+
+func TestMCFFromWeightedTimes(t *testing.T) {
+	times := []float64{10, 20, 30}
+	weights := []float64{2, 0.5, 1}
+	pts, err := MCFFromWeightedTimes(times, weights, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.25, 0.35}
+	for i, p := range pts {
+		if p.Time != times[i] || math.Abs(p.MCF-want[i]) > 1e-12 {
+			t.Errorf("point %d = %+v, want (%v, %v)", i, p, times[i], want[i])
+		}
+	}
+
+	// Unit weights reduce exactly to the unweighted MCF.
+	unit, err := MCFFromWeightedTimes(times, []float64{1, 1, 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := MCFFromTimes(times, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if unit[i] != plain[i] {
+			t.Errorf("unit-weight point %d = %+v != unweighted %+v", i, unit[i], plain[i])
+		}
+	}
+
+	// Nil weights delegate to the unweighted path.
+	nilw, err := MCFFromWeightedTimes(times, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if nilw[i] != plain[i] {
+			t.Errorf("nil-weight point %d differs from unweighted", i)
+		}
+	}
+
+	// Validation.
+	if _, err := MCFFromWeightedTimes(times, []float64{1, 2}, 7); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MCFFromWeightedTimes(times, []float64{1, -1, 1}, 7); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := MCFFromWeightedTimes([]float64{5, 1}, []float64{1, 1}, 7); err == nil {
+		t.Error("unsorted times accepted")
+	}
+	if _, err := MCFFromWeightedTimes(times, weights, 0); err == nil {
+		t.Error("zero system count accepted")
+	}
+}

@@ -47,6 +47,12 @@ type (
 	// SparePolicy bounds the spare-drive pool (Params.Spares); nil keeps
 	// the paper's always-available-spare assumption.
 	SparePolicy = sim.SparePolicy
+	// Bias configures failure-biased importance sampling (Params.Bias):
+	// hazards are scaled up during sampling and every estimate is
+	// reweighted by the likelihood ratio, accelerating rare-event
+	// campaigns without biasing the expectation. The zero value is plain
+	// Monte Carlo.
+	Bias = sim.Bias
 )
 
 // Adaptive-campaign types (Model.RunAdaptive): DDFs are rare events, so
