@@ -222,6 +222,53 @@ func BenchmarkEngineSequentialInto(b *testing.B) {
 	}
 }
 
+// biasedSimConfig is the base case under the standard rare-event tilt:
+// the operational-failure hazard scaled by θ = 8.
+func biasedSimConfig() sim.Config {
+	cfg := baseSimConfig()
+	cfg.Bias.Op = 8
+	return cfg
+}
+
+// BenchmarkEngineTimelineBiasedInto measures the event engine with
+// importance sampling active: every TTOp draw goes through the fused
+// tilted kernel (hazard-scaled draw + likelihood-ratio bookkeeping).
+func BenchmarkEngineTimelineBiasedInto(b *testing.B) {
+	cfg := biasedSimConfig()
+	engine := sim.EventEngine{}
+	var (
+		r   rng.RNG
+		buf []sim.DDF
+		err error
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SeedStream(1, uint64(i))
+		if buf, _, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSequentialBiasedInto measures the interval engine under
+// the same θ = 8 tilt.
+func BenchmarkEngineSequentialBiasedInto(b *testing.B) {
+	cfg := biasedSimConfig()
+	engine := sim.IntervalEngine{}
+	var (
+		r   rng.RNG
+		buf []sim.DDF
+		err error
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SeedStream(1, uint64(i))
+		if buf, _, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunSparse measures the full streaming pipeline — workers,
 // in-order merge, sparse accumulation — in iterations per second.
 func BenchmarkRunSparse(b *testing.B) {

@@ -18,6 +18,7 @@
 //	        [-max-iterations N] [-max-duration 1h] [-batch 1000]
 //	        [-checkpoint c.json] [-resume c.json] [-progress]
 //	        [-bias 4] [-bias-ld 1]
+//	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -bias enables importance sampling: operational-failure hazards are
 // scaled up by the factor during sampling and every estimate is
@@ -32,6 +33,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"raidrel/internal/campaign"
@@ -78,8 +81,35 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	progress := fs.Bool("progress", false, "adaptive: stream per-batch telemetry to stderr")
 	bias := fs.Float64("bias", 0, "importance sampling: operational-failure hazard scale factor (0 or 1 = off)")
 	biasLd := fs.Float64("bias-ld", 0, "importance sampling: latent-defect hazard scale factor (0 or 1 = off; rarely useful, see DESIGN.md)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "raidsim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "raidsim: -memprofile:", err)
+			}
+		}()
 	}
 	if *ldRate < 0 {
 		return fmt.Errorf("-ld-rate %v negative (use 0 to disable latent defects)", *ldRate)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -16,6 +17,31 @@ func TestRunDefaultsReduced(t *testing.T) {
 	for _, want := range []string{"mission total", "MTTDL view", "ld+op"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-iterations", "200", "-cpuprofile", cpu, "-memprofile", mem,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mission total") {
+		t.Errorf("campaign output missing with profiling enabled:\n%s", sb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
 		}
 	}
 }

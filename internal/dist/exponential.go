@@ -15,6 +15,8 @@ type Exponential struct {
 
 var _ Distribution = Exponential{}
 var _ Hazarder = Exponential{}
+var _ CumHazarder = Exponential{}
+var _ CumHazardInverter = Exponential{}
 
 // NewExponential returns an exponential distribution with rate λ > 0 per
 // hour.
@@ -87,6 +89,15 @@ func (e Exponential) CumHazard(t float64) float64 {
 		return 0
 	}
 	return e.rate * t
+}
+
+// QuantileFromCumHazard returns h/λ, the value whose cumulative hazard
+// is h. Implements CumHazardInverter for the tilt samplers.
+func (e Exponential) QuantileFromCumHazard(h float64) float64 {
+	if h <= 0 {
+		return 0
+	}
+	return h / e.rate
 }
 
 // LogPDF returns ln λ - λt for t >= 0.

@@ -50,18 +50,38 @@ func LogPDF(d Distribution, t float64) float64 {
 	return math.Log(d.PDF(t))
 }
 
+// CumHazardInverter is implemented by distributions with a closed-form
+// inverse of the cumulative hazard: QuantileFromCumHazard(h) is the value
+// x with H(x) = h, i.e. S(x) = e^(-h). Tilt samplers prefer it over
+// Quantile because it skips the h -> 1-e^(-h) -> -ln(1-p) round trip
+// (two transcendental calls that cancel analytically but not in floating
+// point).
+type CumHazardInverter interface {
+	QuantileFromCumHazard(h float64) float64
+}
+
+// QuantileFromCumHazardOf returns the value whose cumulative hazard under
+// d is h, using the closed-form inverse when the distribution provides
+// one and the quantile of 1 - e^(-h) otherwise.
+func QuantileFromCumHazardOf(d Distribution, h float64) float64 {
+	if inv, ok := d.(CumHazardInverter); ok {
+		return inv.QuantileFromCumHazard(h)
+	}
+	return d.Quantile(-math.Expm1(-h))
+}
+
 // SampleHazardScaled draws one variate x from the proportional-hazards
 // tilt of d by factor theta and returns it together with cumHazard, the
 // base distribution's cumulative hazard H_f(x) at the draw.
 //
 // The draw inverts the tilted survival S_g = S_f^theta directly: with
-// E standard exponential, H_f(x) = E/theta, so x is the base quantile of
-// 1 - exp(-E/theta). Returning H_f(x) alongside x lets callers form the
-// log likelihood ratio ln(f(x)/g(x)) = (theta-1)·H_f(x) - ln(theta)
-// without re-evaluating densities.
+// E standard exponential, H_f(x) = E/theta, so x is the base inverse
+// cumulative hazard at E/theta. Returning H_f(x) alongside x lets callers
+// form the log likelihood ratio ln(f(x)/g(x)) = (theta-1)·H_f(x) -
+// ln(theta) without re-evaluating densities.
 func SampleHazardScaled(d Distribution, theta float64, r *rng.RNG) (x, cumHazard float64) {
 	h := r.ExpFloat64() / theta
-	return d.Quantile(-math.Expm1(-h)), h
+	return QuantileFromCumHazardOf(d, h), h
 }
 
 // HazardScaleLogRatio returns ln(f(x)/g(x)) where g is the

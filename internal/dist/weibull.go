@@ -20,10 +20,20 @@ type Weibull struct {
 	shape float64 // β
 	scale float64 // η (characteristic life)
 	loc   float64 // γ (location / minimum time)
+
+	// Derived constants, computed once at construction so per-draw and
+	// per-evaluation code never recomputes them: 1/β (the sampling
+	// exponent), ln η (log-space evaluations), and the kernel
+	// specialization tag for β ∈ {1, 2, 3} (see kernel.go).
+	invShape float64
+	logScale float64
+	kind     kernelKind
 }
 
 var _ Distribution = Weibull{}
 var _ Hazarder = Weibull{}
+var _ CumHazarder = Weibull{}
+var _ CumHazardInverter = Weibull{}
 
 // NewWeibull returns a three-parameter Weibull with shape β > 0, scale
 // η > 0, and location γ >= 0.
@@ -37,7 +47,14 @@ func NewWeibull(shape, scale, loc float64) (Weibull, error) {
 	if loc < 0 || math.IsNaN(loc) || math.IsInf(loc, 0) {
 		return Weibull{}, fmt.Errorf("weibull: location must be finite and non-negative, got %v", loc)
 	}
-	return Weibull{shape: shape, scale: scale, loc: loc}, nil
+	return Weibull{
+		shape:    shape,
+		scale:    scale,
+		loc:      loc,
+		invShape: 1 / shape,
+		logScale: math.Log(scale),
+		kind:     weibullKindFor(shape),
+	}, nil
 }
 
 // MustWeibull is NewWeibull but panics on invalid parameters. Intended for
@@ -99,7 +116,19 @@ func (w Weibull) Quantile(p float64) float64 {
 		return math.Inf(1)
 	}
 	// -log1p(-p) = -ln(1-p), accurate for small p.
-	return w.loc + w.scale*math.Pow(-math.Log1p(-p), 1/w.shape)
+	return weibullICDFExp(w.kind, w.loc, w.scale, w.invShape, -math.Log1p(-p))
+}
+
+// QuantileFromCumHazard inverts the survival function at e^(-h): it
+// returns γ + η h^(1/β), the value whose cumulative hazard is h. This is
+// the tilt samplers' inner transform (see tilt.go); taking h directly
+// skips the lossy h -> p -> -ln(1-p) round trip of Quantile and shares
+// the kernel layer's specialized e^(1/β) evaluation.
+func (w Weibull) QuantileFromCumHazard(h float64) float64 {
+	if h <= 0 {
+		return w.loc
+	}
+	return weibullICDFExp(w.kind, w.loc, w.scale, w.invShape, h)
 }
 
 // Hazard returns the instantaneous failure rate (β/η)((t-γ)/η)^(β-1).
@@ -133,12 +162,12 @@ func (w Weibull) LogPDF(t float64) float64 {
 		case w.shape < 1:
 			return math.Inf(1)
 		case w.shape == 1:
-			return -math.Log(w.scale)
+			return -w.logScale
 		default:
 			return math.Inf(-1)
 		}
 	}
-	return math.Log(w.shape/w.scale) + (w.shape-1)*math.Log(z) - math.Pow(z, w.shape)
+	return math.Log(w.shape) - w.logScale + (w.shape-1)*math.Log(z) - math.Pow(z, w.shape)
 }
 
 // CumHazard returns the cumulative hazard H(t) = ((t-γ)/η)^β.
@@ -151,20 +180,22 @@ func (w Weibull) CumHazard(t float64) float64 {
 
 // Mean returns γ + η Γ(1 + 1/β).
 func (w Weibull) Mean() float64 {
-	return w.loc + w.scale*math.Gamma(1+1/w.shape)
+	return w.loc + w.scale*math.Gamma(1+w.invShape)
 }
 
 // Variance returns η² [Γ(1+2/β) - Γ(1+1/β)²].
 func (w Weibull) Variance() float64 {
-	g1 := math.Gamma(1 + 1/w.shape)
-	g2 := math.Gamma(1 + 2/w.shape)
+	g1 := math.Gamma(1 + w.invShape)
+	g2 := math.Gamma(1 + 2*w.invShape)
 	return w.scale * w.scale * (g2 - g1*g1)
 }
 
 // Sample draws a Weibull variate by inversion: γ + η (-ln U)^(1/β) with
-// U uniform on (0, 1). (-ln U has the same law as -ln(1-U).)
+// U uniform on (0, 1). (-ln U has the same law as -ln(1-U).) The
+// evaluation goes through the same kind-specialized transform as the
+// compiled kernels, so Sample and Compile(w).Draw are bit-identical.
 func (w Weibull) Sample(r *rng.RNG) float64 {
-	return w.loc + w.scale*math.Pow(r.ExpFloat64(), 1/w.shape)
+	return weibullICDFExp(w.kind, w.loc, w.scale, w.invShape, r.ExpFloat64())
 }
 
 // String implements fmt.Stringer with the paper's (γ, η, β) notation.

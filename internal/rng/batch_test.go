@@ -1,0 +1,61 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUint64sMatchesSequential asserts the batched fill's contract: one
+// Uint64s call produces exactly the values (and final generator state) of
+// len(dst) sequential Uint64 calls.
+func TestUint64sMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 1000} {
+		batch, seq := New(123), New(123)
+		dst := make([]uint64, n)
+		batch.Uint64s(dst)
+		for i, got := range dst {
+			if want := seq.Uint64(); got != want {
+				t.Fatalf("n=%d: Uint64s[%d] = %#x, sequential Uint64 = %#x", n, i, got, want)
+			}
+		}
+		if batch.s != seq.s {
+			t.Fatalf("n=%d: generator states diverge after batch fill", n)
+		}
+	}
+}
+
+// TestExpFloat64sMatchesSequential is the same contract for the
+// exponential fill the sampler kernels batch through.
+func TestExpFloat64sMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 1000} {
+		batch, seq := New(456), New(456)
+		dst := make([]float64, n)
+		batch.ExpFloat64s(dst)
+		for i, got := range dst {
+			if want := seq.ExpFloat64(); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d: ExpFloat64s[%d] = %v, sequential ExpFloat64 = %v", n, i, got, want)
+			}
+		}
+		if batch.s != seq.s {
+			t.Fatalf("n=%d: generator states diverge after batch fill", n)
+		}
+	}
+}
+
+// TestUint64sAliasedState guards the state-hoisting optimization inside
+// Uint64s: the loop keeps the xoshiro words in locals and writes them back
+// once, which must stay correct for any destination slice.
+func TestUint64sAliasedState(t *testing.T) {
+	r := New(7)
+	want := New(7)
+	var wantVals [8]uint64
+	for i := range wantVals {
+		wantVals[i] = want.Uint64()
+	}
+	var dst [8]uint64
+	r.Uint64s(dst[:4])
+	r.Uint64s(dst[4:])
+	if dst != wantVals {
+		t.Fatalf("split batch fills: got %v, want %v", dst, wantVals)
+	}
+}

@@ -10,47 +10,71 @@ import (
 
 // TestSimulateIntoZeroAlloc asserts the engine hot path's contract: after
 // warm-up, an event-free base-case chronology — the overwhelming majority
-// in the rare-event regime — runs with zero heap allocations.
+// in the rare-event regime — runs with zero heap allocations. The contract
+// covers both engines, plain and with importance sampling active (the
+// tilted kernels must not reintroduce per-draw allocation).
 func TestSimulateIntoZeroAlloc(t *testing.T) {
-	// sync.Pool contents may be dropped by a GC cycle mid-measurement;
-	// that is a pool refill, not a hot-path allocation. Disable GC.
-	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	engines := []struct {
+		name string
+		eng  IntoSimulator
+	}{
+		{"EventEngine", EventEngine{}},
+		{"IntervalEngine", IntervalEngine{}},
+	}
+	biases := []struct {
+		name string
+		bias Bias
+	}{
+		{"Plain", Bias{}},
+		{"BiasedOp8", Bias{Op: 8}},
+	}
+	for _, e := range engines {
+		for _, b := range biases {
+			t.Run(e.name+"/"+b.name, func(t *testing.T) {
+				// sync.Pool contents may be dropped by a GC cycle
+				// mid-measurement; that is a pool refill, not a hot-path
+				// allocation. Disable GC.
+				defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
-	cfg := paperBaseConfig()
-	eng := EventEngine{}
-	var (
-		r   rng.RNG
-		buf []DDF
-		err error
-	)
-	// Find a stream with an event-free chronology (at ~2.7e-4 DDF
-	// probability the first candidate virtually always qualifies), warming
-	// the pooled scratch along the way.
-	stream := uint64(0)
-	found := false
-	for s := uint64(0); s < 100; s++ {
-		r.SeedStream(1, s)
-		buf, _, err = eng.SimulateInto(cfg, &r, buf[:0])
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(buf) == 0 && !found {
-			stream, found = s, true
-		}
-	}
-	if !found {
-		t.Fatal("no event-free chronology in 100 base-case streams")
-	}
+				cfg := paperBaseConfig()
+				cfg.Bias = b.bias
+				var (
+					r   rng.RNG
+					buf []DDF
+					err error
+				)
+				// Find a stream with an event-free chronology (at ~2.7e-4
+				// plain DDF probability the first candidate virtually always
+				// qualifies; under θ=8 most streams still qualify), warming
+				// the pooled scratch along the way.
+				stream := uint64(0)
+				found := false
+				for s := uint64(0); s < 100; s++ {
+					r.SeedStream(1, s)
+					buf, _, err = e.eng.SimulateInto(cfg, &r, buf[:0])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(buf) == 0 && !found {
+						stream, found = s, true
+					}
+				}
+				if !found {
+					t.Fatal("no event-free chronology in 100 base-case streams")
+				}
 
-	allocs := testing.AllocsPerRun(200, func() {
-		r.SeedStream(1, stream)
-		buf, _, err = eng.SimulateInto(cfg, &r, buf[:0])
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if allocs != 0 {
-		t.Errorf("event-free SimulateInto allocates %.1f allocs/run, want 0", allocs)
+				allocs := testing.AllocsPerRun(200, func() {
+					r.SeedStream(1, stream)
+					buf, _, err = e.eng.SimulateInto(cfg, &r, buf[:0])
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if allocs != 0 {
+					t.Errorf("event-free SimulateInto allocates %.1f allocs/run, want 0", allocs)
+				}
+			})
+		}
 	}
 }
 

@@ -3,9 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-
-	"raidrel/internal/dist"
-	"raidrel/internal/rng"
 )
 
 // Bias configures failure-biased importance sampling (Greenan's standard
@@ -53,18 +50,10 @@ func (b Bias) validate() error {
 	return nil
 }
 
-// sampleTilted draws dt from the proportional-hazards tilt of d by theta
-// and returns it with the draw's log likelihood ratio. The caller
-// schedules the event at from+dt and discards it past the horizon, so the
-// ratio is censored at the residual horizon m: a draw landing beyond m
-// contributes the ratio of survival masses S_f(m)/S_g(m) rather than the
-// density ratio at dt. Censoring is what keeps every weight factor
-// bounded — the uncensored per-draw ratio has unbounded second moment for
-// theta >= 2, which would make the weighted estimator's variance infinite.
-func sampleTilted(d dist.Distribution, theta, m float64, r *rng.RNG) (dt, logLR float64) {
-	dt, h := dist.SampleHazardScaled(d, theta, r)
-	if dt > m {
-		return dt, dist.HazardScaleCensoredLogRatio(d, theta, m)
-	}
-	return dt, (theta-1)*h - math.Log(theta)
-}
+// The tilted draws themselves live in the compiled-kernel layer: both
+// engines resolve their tilted distributions to dist.TiltedKernel values
+// (see kernels.go), whose DrawLR fuses the hazard-scaled draw with the
+// per-draw log likelihood ratio, censored at each engine's discard
+// horizon. Censoring is what keeps every weight factor bounded — the
+// uncensored per-draw ratio has unbounded second moment for theta >= 2,
+// which would make the weighted estimator's variance infinite.

@@ -17,17 +17,33 @@ var (
 	_ IntoSimulator = EventEngine{}
 )
 
-// defectRec is one live latent defect on a drive, in creation order.
+// defectRec is one latent defect on a drive, in creation order. The
+// untraced engine never queues the defect's scrub-correction event:
+// end/clearSeq capture when (and with what tie-break rank) that event
+// would have fired, and liveness is checked lazily at DDF determination —
+// see defectLive. Traced runs still queue the correction so observers see
+// it in time order; the lazy predicate is consistent with eager removal,
+// so both paths decide every DDF identically.
 type defectRec struct {
-	id    int64
-	start float64
+	id       int64
+	start    float64
+	end      float64 // scrub-correction time; +Inf when never scrubbed
+	clearSeq int64   // seq the correction event holds (or would hold)
+}
+
+// defectLive reports whether the defect is uncorrected at the instant an
+// event with sequence number seq occurs at time t. The tie-break term
+// reproduces the eager queue's behaviour exactly: at t == end the defect
+// is live only for events that would have popped before the correction.
+func defectLive(d *defectRec, t float64, seq int64) bool {
+	return t < d.end || (t == d.end && seq < d.clearSeq)
 }
 
 // slotState is the mutable per-drive-slot state of the event engine.
 type slotState struct {
 	failed     bool
 	restoreEnd float64
-	gen        int
+	gen        int32
 	defects    []defectRec // live defects of the current drive, creation order
 }
 
@@ -54,6 +70,10 @@ type eventSim struct {
 	r      *rng.RNG
 	obs    Observer
 	spares *sparePool
+	// kern holds cfg's transition distributions compiled to sampler
+	// kernels; every hot-loop draw goes through it instead of the
+	// Distribution interface.
+	kern cfgKernels
 
 	slots         []slotState
 	q             eventQueue
@@ -103,11 +123,12 @@ func SimulateTraced(cfg Config, r *rng.RNG, obs Observer) ([]DDF, error) {
 }
 
 // release drops references the scratch must not retain between runs (the
-// caller's RNG, observer, buffer, and the distributions inside cfg) while
-// keeping the reusable backing arrays.
+// caller's RNG, observer, buffer, and the distributions inside cfg and
+// the compiled kernels) while keeping the reusable backing arrays.
 func (s *eventSim) release() {
 	s.cfg = Config{}
 	s.r, s.obs, s.spares, s.ddfs = nil, nil, nil, nil
+	s.kern.release()
 }
 
 func (s *eventSim) emit(e TraceEvent) {
@@ -117,7 +138,7 @@ func (s *eventSim) emit(e TraceEvent) {
 }
 
 // push schedules an event, discarding anything beyond the mission horizon.
-func (s *eventSim) push(t float64, kind eventKind, slot, gen int, id int64, arg float64) {
+func (s *eventSim) push(t float64, kind eventKind, slot, gen int32, id int64, arg float64) {
 	if t > s.cfg.Mission {
 		return
 	}
@@ -126,27 +147,26 @@ func (s *eventSim) push(t float64, kind eventKind, slot, gen int, id int64, arg 
 }
 
 func (s *eventSim) scheduleOpFail(slot int, from float64) {
-	d := s.cfg.ttopFor(slot)
-	var dt float64
-	if s.cfg.Bias.opEnabled() {
-		// Tilted draw, likelihood ratio censored at the residual mission:
-		// push discards from+dt > Mission, i.e. dt > Mission-from.
-		var logLR float64
-		dt, logLR = sampleTilted(d, s.cfg.Bias.Op, s.cfg.Mission-from, s.r)
-		s.logW += logLR
-	} else {
-		dt = d.Sample(s.r)
-	}
-	s.push(from+dt, evOpFail, slot, s.slots[slot].gen, 0, 0)
+	// Under bias the likelihood ratio is censored at the residual
+	// mission: push discards from+dt > Mission, i.e. dt > Mission-from.
+	dt, logLR := s.kern.drawTTOp(&s.cfg, slot, from, s.r)
+	s.logW += logLR
+	s.push(from+dt, evOpFail, int32(slot), s.slots[slot].gen, 0, 0)
 }
 
 func (s *eventSim) scheduleDefect(slot int, from float64) {
+	if s.kern.plainTTLd {
+		// Plain renewal defects: skip nextDefect's process dispatch and
+		// the always-zero likelihood-ratio bookkeeping.
+		s.push(from+s.kern.ttld.Draw(s.r), evDefectArrive, int32(slot), s.slots[slot].gen, 0, 0)
+		return
+	}
 	if !s.cfg.Trans.latentEnabled() {
 		return
 	}
-	t, logLR := s.cfg.nextDefect(from, s.cfg.Mission, s.r)
+	t, logLR := s.kern.nextDefect(&s.cfg, from, s.cfg.Mission, s.r)
 	s.logW += logLR
-	s.push(t, evDefectArrive, slot, s.slots[slot].gen, 0, 0)
+	s.push(t, evDefectArrive, int32(slot), s.slots[slot].gen, 0, 0)
 }
 
 // run executes one chronology, appending DDFs to buf and accumulating the
@@ -156,6 +176,7 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 		return buf, 0, err
 	}
 	s.cfg, s.r, s.obs = cfg, r, obs
+	s.kern.compile(&s.cfg)
 	if cap(s.slots) < cfg.Drives {
 		s.slots = make([]slotState, cfg.Drives)
 	} else {
@@ -182,7 +203,8 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 		if ev.time > cfg.Mission {
 			break
 		}
-		sl := &s.slots[ev.slot]
+		evSlot := int(ev.slot)
+		sl := &s.slots[evSlot]
 		switch ev.kind {
 		case evOpFail:
 			if ev.gen != sl.gen {
@@ -193,7 +215,7 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			failedOthers, defectSlot := 0, -1
 			defectStart := math.Inf(1)
 			for k := range s.slots {
-				if k == ev.slot {
+				if k == evSlot {
 					continue
 				}
 				o := &s.slots[k]
@@ -201,15 +223,16 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 				case o.failed:
 					failedOthers++
 				case len(o.defects) > 0:
-					for _, d := range o.defects {
-						if d.start < defectStart {
+					for i := range o.defects {
+						d := &o.defects[i]
+						if d.start < defectStart && defectLive(d, ev.time, ev.seq) {
 							defectStart = d.start
 							defectSlot = k
 						}
 					}
 				}
 			}
-			s.emit(TraceEvent{Time: ev.time, Kind: TraceOpFail, Slot: ev.slot})
+			s.emit(TraceEvent{Time: ev.time, Kind: TraceOpFail, Slot: evSlot})
 			// The failure itself: old drive out, replacement in; its data
 			// (and latent defects) are gone, and defect generation on the
 			// replacement starts immediately (write errors during rebuild
@@ -218,9 +241,9 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			sl.gen++
 			sl.defects = sl.defects[:0]
 			// With a finite pool the rebuild waits for a spare to arrive.
-			sl.restoreEnd = s.spares.rebuildStart(ev.time) + cfg.Trans.TTR.Sample(r)
+			sl.restoreEnd = s.spares.rebuildStart(ev.time) + s.kern.ttr.Draw(r)
 			s.push(sl.restoreEnd, evOpRestore, ev.slot, sl.gen, 0, 0)
-			s.scheduleDefect(ev.slot, ev.time)
+			s.scheduleDefect(evSlot, ev.time)
 
 			if ev.time < s.suppressUntil {
 				// A DDF is already outstanding; no new one until restored.
@@ -232,14 +255,14 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			case losses >= cfg.Redundancy:
 				s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseOpOp})
 				s.suppressUntil = sl.restoreEnd
-				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseOpOp})
+				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: evSlot, Cause: CauseOpOp})
 			case losses == cfg.Redundancy-1 && hasDefect:
 				s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseLdOp})
 				s.suppressUntil = sl.restoreEnd
-				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: ev.slot, Cause: CauseLdOp})
+				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: evSlot, Cause: CauseLdOp})
 				// The defective drive is repaired together with the failed
 				// one: its pre-existing defects clear at the same restore.
-				s.push(sl.restoreEnd, evTruncateDefects, defectSlot, s.slots[defectSlot].gen, 0, ev.time)
+				s.push(sl.restoreEnd, evTruncateDefects, int32(defectSlot), s.slots[defectSlot].gen, 0, ev.time)
 			}
 
 		case evOpRestore:
@@ -247,29 +270,44 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 				continue
 			}
 			sl.failed = false
-			s.emit(TraceEvent{Time: ev.time, Kind: TraceOpRestore, Slot: ev.slot})
+			s.emit(TraceEvent{Time: ev.time, Kind: TraceOpRestore, Slot: evSlot})
 			// The replacement's operational life is measured from restore
 			// completion (the paper's alternating TTF/TTR chronology).
-			s.scheduleOpFail(ev.slot, ev.time)
+			s.scheduleOpFail(evSlot, ev.time)
 
 		case evDefectArrive:
 			if ev.gen != sl.gen {
 				continue
 			}
 			s.defectID++
-			sl.defects = append(sl.defects, defectRec{id: s.defectID, start: ev.time})
-			s.emit(TraceEvent{Time: ev.time, Kind: TraceDefect, Slot: ev.slot})
+			s.emit(TraceEvent{Time: ev.time, Kind: TraceDefect, Slot: evSlot})
+			end, clearSeq := math.Inf(1), int64(math.MaxInt64)
 			if cfg.Trans.TTScrub != nil {
-				s.push(ev.time+cfg.Trans.TTScrub.Sample(r), evDefectClear, ev.slot, sl.gen, s.defectID, 0)
+				end = ev.time + s.kern.scrub.Draw(r)
+				if end <= cfg.Mission {
+					if s.obs != nil {
+						// Traced runs queue the correction so the observer
+						// sees TraceScrub in time order.
+						s.push(end, evDefectClear, ev.slot, sl.gen, s.defectID, 0)
+					} else {
+						// Phantom correction: consume the seq the queued
+						// event would have held, so every later event's
+						// tie-break rank — and therefore pop order on exact
+						// time ties — matches the traced path bit for bit.
+						s.seq++
+					}
+					clearSeq = s.seq
+				}
 			}
-			s.scheduleDefect(ev.slot, ev.time)
+			sl.defects = append(sl.defects, defectRec{id: s.defectID, start: ev.time, end: end, clearSeq: clearSeq})
+			s.scheduleDefect(evSlot, ev.time)
 
 		case evDefectClear:
 			if ev.gen != sl.gen {
 				continue
 			}
 			if sl.removeDefect(ev.id) {
-				s.emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
+				s.emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: evSlot})
 			}
 
 		case evTruncateDefects:
@@ -279,7 +317,7 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			kept := sl.defects[:0]
 			for _, d := range sl.defects {
 				if d.start <= ev.arg {
-					s.emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: ev.slot})
+					s.emit(TraceEvent{Time: ev.time, Kind: TraceScrub, Slot: evSlot})
 				} else {
 					kept = append(kept, d)
 				}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -47,11 +48,12 @@ type intervalFailure struct {
 }
 
 // intervalScratch is the reusable per-worker state of the interval engine:
-// per-slot chronologies and the merged failure sequence keep their backing
-// arrays across iterations.
+// per-slot chronologies, the merged failure sequence, and the compiled
+// sampler kernels keep their backing arrays across iterations.
 type intervalScratch struct {
 	chrons []slotChronology
 	fails  []intervalFailure
+	kern   cfgKernels
 }
 
 var intervalScratchPool = sync.Pool{New: func() any { return new(intervalScratch) }}
@@ -73,7 +75,11 @@ func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, fl
 		return buf, 0, fmt.Errorf("sim: the interval engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
 	}
 	sc := intervalScratchPool.Get().(*intervalScratch)
-	defer intervalScratchPool.Put(sc)
+	defer func() {
+		sc.kern.release()
+		intervalScratchPool.Put(sc)
+	}()
+	sc.kern.compile(&cfg)
 	if cap(sc.chrons) < cfg.Drives {
 		grown := make([]slotChronology, cfg.Drives)
 		copy(grown, sc.chrons[:cap(sc.chrons)])
@@ -85,7 +91,7 @@ func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, fl
 	for i := range chrons {
 		chrons[i].ops = chrons[i].ops[:0]
 		chrons[i].defects = chrons[i].defects[:0]
-		logW += buildSlotChronology(cfg, i, r, &chrons[i])
+		logW += buildSlotChronology(&cfg, &sc.kern, i, r, &chrons[i])
 	}
 
 	// Merge every operational failure, tagged with its slot.
@@ -96,7 +102,19 @@ func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, fl
 		}
 	}
 	sc.fails = fails
-	sort.Slice(fails, func(i, j int) bool { return fails[i].op.Fail < fails[j].op.Fail })
+	// slices.SortFunc rather than sort.Slice: the latter builds a
+	// reflection-based swapper, one heap allocation per call — the only
+	// allocation this engine's hot path had left.
+	slices.SortFunc(fails, func(a, b intervalFailure) int {
+		switch {
+		case a.op.Fail < b.op.Fail:
+			return -1
+		case a.op.Fail > b.op.Fail:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	var suppressUntil float64
 	for _, f := range fails {
@@ -162,35 +180,28 @@ func opFailedAt(ops []opInterval, t float64) bool {
 // so per-iteration weights differ between engines even on the same stream;
 // both weightings are valid for their own chronology construction and the
 // weighted estimates agree statistically.
-func buildSlotChronology(cfg Config, slot int, r *rng.RNG, ch *slotChronology) float64 {
+func buildSlotChronology(cfg *Config, kern *cfgKernels, slot int, r *rng.RNG, ch *slotChronology) float64 {
 	logW := 0.0
 	genStart := 0.0 // installation time of the current drive
 	upFrom := 0.0   // operational-clock start of the current drive
 	for {
-		d := cfg.ttopFor(slot)
-		var dt float64
-		if cfg.Bias.opEnabled() {
-			// Censored at the residual mission: a drive whose failure lands
-			// past the mission contributes no further in-mission episodes,
-			// matching the event engine's discard boundary.
-			var logLR float64
-			dt, logLR = sampleTilted(d, cfg.Bias.Op, cfg.Mission-upFrom, r)
-			logW += logLR
-		} else {
-			dt = d.Sample(r)
-		}
+		// Under bias the draw is censored at the residual mission: a drive
+		// whose failure lands past the mission contributes no further
+		// in-mission episodes, matching the event engine's discard boundary.
+		dt, logLR := kern.drawTTOp(cfg, slot, upFrom, r)
+		logW += logLR
 		fail := upFrom + dt
 		end := fail
 		if end > cfg.Mission {
 			end = cfg.Mission
 		}
 		if cfg.Trans.latentEnabled() {
-			logW += appendDefects(cfg, r, ch, genStart, end, fail)
+			logW += appendDefects(cfg, kern, r, ch, genStart, end, fail)
 		}
 		if fail > cfg.Mission {
 			break
 		}
-		restore := fail + cfg.Trans.TTR.Sample(r)
+		restore := fail + kern.ttr.Draw(r)
 		ch.ops = append(ch.ops, opInterval{Fail: fail, RestoreEnd: restore})
 		genStart = fail
 		upFrom = restore
@@ -208,11 +219,31 @@ func buildSlotChronology(cfg Config, slot int, r *rng.RNG, ch *slotChronology) f
 // failure clears its defects). Returns the chain's importance-sampling
 // log weight; biased arrivals are censored at windowEnd, the boundary
 // past which the chain stops.
-func appendDefects(cfg Config, r *rng.RNG, ch *slotChronology, genStart, windowEnd, driveFail float64) float64 {
+func appendDefects(cfg *Config, kern *cfgKernels, r *rng.RNG, ch *slotChronology, genStart, windowEnd, driveFail float64) float64 {
 	logW := 0.0
 	t := genStart
+	if kern.plainTTLd {
+		// The dominant configuration — plain renewal defects — resolved
+		// once, keeping nextDefect's process dispatch out of the arrival
+		// loop. Draw-for-draw identical to the generic path below.
+		hasScrub := cfg.Trans.TTScrub != nil
+		for {
+			t += kern.ttld.Draw(r)
+			if t >= windowEnd {
+				return 0
+			}
+			end := math.Inf(1)
+			if hasScrub {
+				end = t + kern.scrub.Draw(r)
+			}
+			if end > driveFail {
+				end = driveFail
+			}
+			ch.defects = append(ch.defects, defectInterval{Start: t, End: end})
+		}
+	}
 	for {
-		next, logLR := cfg.nextDefect(t, windowEnd, r)
+		next, logLR := kern.nextDefect(cfg, t, windowEnd, r)
 		logW += logLR
 		t = next
 		if t >= windowEnd {
@@ -220,7 +251,7 @@ func appendDefects(cfg Config, r *rng.RNG, ch *slotChronology, genStart, windowE
 		}
 		end := math.Inf(1)
 		if cfg.Trans.TTScrub != nil {
-			end = t + cfg.Trans.TTScrub.Sample(r)
+			end = t + kern.scrub.Draw(r)
 		}
 		if end > driveFail {
 			end = driveFail

@@ -1,7 +1,7 @@
 package sim
 
 // eventKind enumerates the event-queue engine's event types.
-type eventKind int
+type eventKind uint8
 
 const (
 	evOpFail eventKind = iota + 1
@@ -11,15 +11,20 @@ const (
 	evTruncateDefects
 )
 
-// event is one scheduled occurrence in a group chronology.
+// event is one scheduled occurrence in a group chronology. The struct is
+// deliberately packed to 48 bytes (slot and gen as int32, kind as a byte):
+// heap sifts copy whole events, so every saved byte is paid back thousands
+// of times per Monte Carlo iteration. int32 is ample — slots index drives
+// (fleet-wide at most millions) and gen counts a slot's replacements over
+// one mission.
 type event struct {
 	time float64
-	seq  int64 // insertion order; deterministic tie-break
-	kind eventKind
-	slot int
-	gen  int     // drive generation the event applies to (staleness guard)
+	seq  int64   // insertion order; deterministic tie-break
 	id   int64   // defect identifier for evDefectClear
 	arg  float64 // evTruncateDefects: clear defects that started at or before arg
+	slot int32
+	gen  int32 // drive generation the event applies to (staleness guard)
+	kind eventKind
 }
 
 // eventQueue is a min-heap of event values ordered by (time, seq). It is
@@ -29,6 +34,12 @@ type event struct {
 // simulate hot loop. The value-based heap keeps its backing array across
 // iterations (reset truncates, it does not free), so a warmed-up engine
 // schedules events with zero allocations.
+//
+// Both sifts move a hole instead of swapping (one event copy per level,
+// not three). Because (time, seq) is a total order — seq is unique within
+// a run — the hole sift lands every element exactly where the swap-based
+// sift would, so pop order (and therefore every simulated chronology) is
+// bit-for-bit unchanged from the original container/heap implementation.
 type eventQueue struct {
 	es []event
 }
@@ -38,52 +49,58 @@ func (q *eventQueue) reset() { q.es = q.es[:0] }
 
 func (q *eventQueue) Len() int { return len(q.es) }
 
-// less orders by (time, seq) — identical to the previous container/heap
-// comparison, so pop order (and therefore every simulated chronology) is
-// bit-for-bit unchanged.
-func (q *eventQueue) less(i, j int) bool {
-	if q.es[i].time != q.es[j].time {
-		return q.es[i].time < q.es[j].time
+// before orders by (time, seq) — identical to the original container/heap
+// comparison.
+func before(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return q.es[i].seq < q.es[j].seq
+	return a.seq < b.seq
 }
 
 // push adds e to the queue.
 func (q *eventQueue) push(e event) {
 	q.es = append(q.es, e)
-	// Sift up.
-	i := len(q.es) - 1
+	es := q.es
+	// Sift the hole up, moving parents down until e's position is found.
+	i := len(es) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !before(&e, &es[parent]) {
 			break
 		}
-		q.es[i], q.es[parent] = q.es[parent], q.es[i]
+		es[i] = es[parent]
 		i = parent
 	}
+	es[i] = e
 }
 
 // pop removes and returns the minimum event. The queue must be non-empty.
 func (q *eventQueue) pop() event {
-	top := q.es[0]
-	n := len(q.es) - 1
-	q.es[0] = q.es[n]
-	q.es = q.es[:n]
-	// Sift down.
+	es := q.es
+	top := es[0]
+	n := len(es) - 1
+	last := es[n]
+	q.es = es[:n]
+	// Sift the hole down from the root: promote the smaller child until
+	// `last` fits, then place it once.
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
+		c := 2*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
+		if r := c + 1; r < n && before(&es[r], &es[c]) {
+			c = r
 		}
-		if smallest == i {
-			return top
+		if !before(&es[c], &last) {
+			break
 		}
-		q.es[i], q.es[smallest] = q.es[smallest], q.es[i]
-		i = smallest
+		es[i] = es[c]
+		i = c
 	}
+	if n > 0 {
+		es[i] = last
+	}
+	return top
 }

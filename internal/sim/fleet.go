@@ -61,13 +61,15 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 
 	slots := make([]slotState, total)
 	spares := newSparePool(cfg.SharedSpares)
+	var kern cfgKernels
+	kern.compile(&g)
 	var (
 		q             eventQueue
 		seq, defectID int64
 		out           = make([][]DDF, cfg.Groups)
 		suppressUntil = make([]float64, cfg.Groups)
 	)
-	push := func(t float64, kind eventKind, slot, gen int, id int64, arg float64) {
+	push := func(t float64, kind eventKind, slot, gen int32, id int64, arg float64) {
 		if t > g.Mission {
 			return
 		}
@@ -75,15 +77,15 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 		q.push(event{time: t, seq: seq, kind: kind, slot: slot, gen: gen, id: id, arg: arg})
 	}
 	scheduleOpFail := func(slot int, from float64) {
-		push(from+g.ttopFor(refOf(slot).slot).Sample(r), evOpFail, slot, slots[slot].gen, 0, 0)
+		push(from+g.ttopFor(refOf(slot).slot).Sample(r), evOpFail, int32(slot), slots[slot].gen, 0, 0)
 	}
 	scheduleDefect := func(slot int, from float64) {
 		if !g.Trans.latentEnabled() {
 			return
 		}
 		// Bias is rejected by Validate, so the log ratio is always 0 here.
-		t, _ := g.nextDefect(from, g.Mission, r)
-		push(t, evDefectArrive, slot, slots[slot].gen, 0, 0)
+		t, _ := kern.nextDefect(&g, from, g.Mission, r)
+		push(t, evDefectArrive, int32(slot), slots[slot].gen, 0, 0)
 	}
 	for i := 0; i < total; i++ {
 		scheduleOpFail(i, 0)
@@ -95,8 +97,9 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 		if ev.time > g.Mission {
 			break
 		}
-		s := &slots[ev.slot]
-		ref := refOf(ev.slot)
+		evSlot := int(ev.slot)
+		s := &slots[evSlot]
+		ref := refOf(evSlot)
 		switch ev.kind {
 		case evOpFail:
 			if ev.gen != s.gen {
@@ -106,7 +109,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 			defectStart := math.Inf(1)
 			base := ref.group * g.Drives
 			for k := base; k < base+g.Drives; k++ {
-				if k == ev.slot {
+				if k == evSlot {
 					continue
 				}
 				o := &slots[k]
@@ -127,7 +130,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 			s.defects = s.defects[:0]
 			s.restoreEnd = spares.rebuildStart(ev.time) + g.Trans.TTR.Sample(r)
 			push(s.restoreEnd, evOpRestore, ev.slot, s.gen, 0, 0)
-			scheduleDefect(ev.slot, ev.time)
+			scheduleDefect(evSlot, ev.time)
 			if ev.time < suppressUntil[ref.group] {
 				continue
 			}
@@ -138,7 +141,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 			case failedOthers == g.Redundancy-1 && defectSlot >= 0:
 				out[ref.group] = append(out[ref.group], DDF{Time: ev.time, Cause: CauseLdOp})
 				suppressUntil[ref.group] = s.restoreEnd
-				push(s.restoreEnd, evTruncateDefects, defectSlot, slots[defectSlot].gen, 0, ev.time)
+				push(s.restoreEnd, evTruncateDefects, int32(defectSlot), slots[defectSlot].gen, 0, ev.time)
 			}
 
 		case evOpRestore:
@@ -146,7 +149,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 				continue
 			}
 			s.failed = false
-			scheduleOpFail(ev.slot, ev.time)
+			scheduleOpFail(evSlot, ev.time)
 
 		case evDefectArrive:
 			if ev.gen != s.gen {
@@ -157,7 +160,7 @@ func SimulateFleet(cfg FleetConfig, r *rng.RNG) ([]GroupDDFs, error) {
 			if g.Trans.TTScrub != nil {
 				push(ev.time+g.Trans.TTScrub.Sample(r), evDefectClear, ev.slot, s.gen, defectID, 0)
 			}
-			scheduleDefect(ev.slot, ev.time)
+			scheduleDefect(evSlot, ev.time)
 
 		case evDefectClear:
 			if ev.gen != s.gen {

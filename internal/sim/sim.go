@@ -166,47 +166,6 @@ func (c Config) ttopFor(slot int) dist.Distribution {
 	return c.Trans.TTOp
 }
 
-// nextDefect returns the absolute time of the next latent-defect arrival
-// after `from`, or +Inf when the defect process is disabled, together with
-// the draw's importance-sampling log likelihood ratio (0 unless Bias.Ld is
-// active). The homogeneous case renewal-samples TTLd — tilted and censored
-// at `horizon`, the time beyond which the caller discards the arrival;
-// the NHPP case thins a Poisson stream at TTLdRateMax against the
-// instantaneous rate.
-func (c Config) nextDefect(from, horizon float64, r *rng.RNG) (float64, float64) {
-	switch {
-	case c.Trans.TTLdRate != nil:
-		t := from
-		for {
-			t += r.ExpFloat64() / c.Trans.TTLdRateMax
-			if t > c.Mission {
-				return t, 0 // beyond the horizon; caller discards
-			}
-			rate := c.Trans.TTLdRate(t)
-			if rate < 0 || rate > c.Trans.TTLdRateMax {
-				// A misbehaving rate function would silently bias the
-				// process; clamp to the declared bound.
-				if rate < 0 {
-					rate = 0
-				} else {
-					rate = c.Trans.TTLdRateMax
-				}
-			}
-			if r.Float64()*c.Trans.TTLdRateMax < rate {
-				return t, 0
-			}
-		}
-	case c.Trans.TTLd != nil:
-		if c.Bias.ldEnabled() {
-			dt, logLR := sampleTilted(c.Trans.TTLd, c.Bias.Ld, horizon-from, r)
-			return from + dt, logLR
-		}
-		return from + c.Trans.TTLd.Sample(r), 0
-	default:
-		return math.Inf(1), 0
-	}
-}
-
 // Engine simulates one RAID-group chronology and returns its DDF events.
 //
 // Simulate discards the iteration's importance-sampling weight; runs with

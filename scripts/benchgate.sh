@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# benchgate.sh [BASE_REF] — benchmark regression gate.
+#
+# Runs the pinned micro-benchmark set (sampler kernels + both simulation
+# engines, plain and biased) at BASE_REF and at the working tree, prints a
+# benchstat comparison when benchstat is on PATH, and exits non-zero if any
+# pinned benchmark's median sec/op regresses by more than
+# MAX_REGRESSION_PCT (default 10).
+#
+# Skip knobs (see DESIGN.md "Benchmark gate"):
+#   * docs-only diffs (every changed file *.md) skip automatically;
+#   * the CI job also skips when the PR title contains [skip-bench].
+#
+# Environment overrides:
+#   BENCH_COUNT         repetitions per side (default 10)
+#   BENCH_TIME          -benchtime per repetition (default 0.5s)
+#   MAX_REGRESSION_PCT  failure threshold in percent (default 10)
+set -euo pipefail
+
+BASE_REF="${1:-origin/main}"
+COUNT="${BENCH_COUNT:-10}"
+BENCHTIME="${BENCH_TIME:-0.5s}"
+MAX_PCT="${MAX_REGRESSION_PCT:-10}"
+# The pinned set: small, stable benchmarks that cover the per-draw kernels
+# and the end-to-end engine iteration. Sub-benchmarks of the listed names
+# are included.
+PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|BenchmarkEngineTimelineInto|BenchmarkEngineTimelineBiasedInto|BenchmarkEngineSequentialInto|BenchmarkEngineSequentialBiasedInto)$'
+PKGS=". ./internal/dist"
+
+cd "$(dirname "$0")/.."
+
+if changed=$(git diff --name-only "${BASE_REF}...HEAD" 2>/dev/null) && [ -n "$changed" ]; then
+  if ! grep -qv '\.md$' <<<"$changed"; then
+    echo "benchgate: docs-only diff vs ${BASE_REF}; skipping benchmark gate"
+    exit 0
+  fi
+fi
+
+tmp=$(mktemp -d)
+cleanup() {
+  git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+run_bench() {
+  # shellcheck disable=SC2086  # PKGS is a deliberate word list
+  (cd "$1" && go test -run '^$' -bench "$PIN" -count "$COUNT" -benchtime "$BENCHTIME" $PKGS)
+}
+
+echo "benchgate: measuring HEAD (working tree), count=$COUNT benchtime=$BENCHTIME"
+run_bench . >"$tmp/head.txt"
+
+echo "benchgate: measuring base $BASE_REF"
+git worktree add --detach "$tmp/base" "$BASE_REF" >/dev/null
+run_bench "$tmp/base" >"$tmp/base.txt" || true
+
+# medians FILE — "name median_ns" per pinned benchmark, sorted by name.
+medians() {
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") vals[name] = vals[name] " " $i
+    }
+    END {
+      for (name in vals) {
+        n = split(vals[name], a, " ")
+        for (i = 2; i <= n; i++) {        # insertion sort; n is tiny
+          v = a[i]
+          for (j = i - 1; j >= 1 && a[j] + 0 > v + 0; j--) a[j + 1] = a[j]
+          a[j + 1] = v
+        }
+        m = (n % 2) ? a[(n + 1) / 2] : (a[n / 2] + a[n / 2 + 1]) / 2
+        printf "%s %.2f\n", name, m
+      }
+    }' "$1" | sort
+}
+
+if ! grep -q '^Benchmark' "$tmp/base.txt"; then
+  echo "benchgate: base $BASE_REF has none of the pinned benchmarks; nothing to gate"
+  exit 0
+fi
+
+if command -v benchstat >/dev/null 2>&1; then
+  echo
+  benchstat "$tmp/base.txt" "$tmp/head.txt" || true
+  echo
+fi
+
+echo "benchgate: median sec/op, base vs head (fail above +${MAX_PCT}%)"
+join <(medians "$tmp/base.txt") <(medians "$tmp/head.txt") |
+  awk -v max="$MAX_PCT" '
+    {
+      delta = ($3 - $2) / $2 * 100
+      printf "  %-55s %12.1f %12.1f %+7.1f%%\n", $1, $2, $3, delta
+      if (delta > max) { bad = 1; worst = (delta > worst) ? delta : worst }
+    }
+    END {
+      if (bad) {
+        printf "benchgate: FAIL — regression of %+.1f%% exceeds %.0f%% threshold\n", worst, max
+        exit 1
+      }
+      print "benchgate: OK"
+    }'
