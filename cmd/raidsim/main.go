@@ -16,7 +16,7 @@
 //	        [-trace]
 //	        [-target-rel-err 0.1] [-confidence 0.95]
 //	        [-max-iterations N] [-max-duration 1h] [-batch 1000]
-//	        [-checkpoint c.json] [-resume c.json] [-progress]
+//	        [-checkpoint c.json] [-resume c.json] [-progress[=json]]
 //	        [-bias 4] [-bias-ld 1]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -78,7 +78,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	batch := fs.Int("batch", 0, "adaptive: iterations per batch (0 = default)")
 	checkpoint := fs.String("checkpoint", "", "adaptive: write a resumable checkpoint file after every batch")
 	resume := fs.String("resume", "", "adaptive: restore campaign state from a checkpoint file")
-	progress := fs.Bool("progress", false, "adaptive: stream per-batch telemetry to stderr")
+	var progress progressMode
+	fs.Var(&progress, "progress", "adaptive: stream per-batch telemetry to stderr; -progress means text, -progress=json emits one JSON object per batch")
 	bias := fs.Float64("bias", 0, "importance sampling: operational-failure hazard scale factor (0 or 1 = off)")
 	biasLd := fs.Float64("bias-ld", 0, "importance sampling: latent-defect hazard scale factor (0 or 1 = off; rarely useful, see DESIGN.md)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
@@ -150,7 +151,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// validation rejects nonsense (negative targets, negative budgets)
 	// instead of silently falling back to a fixed-size run.
 	adaptive := *targetRelErr != 0 || *maxIterations != 0 || *maxDuration != 0 ||
-		*checkpoint != "" || *resume != "" || *progress || *batch != 0
+		*checkpoint != "" || *resume != "" || progress != progressOff || *batch != 0
 	var res *core.Result
 	var camp *campaign.Result
 	if adaptive {
@@ -163,8 +164,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Checkpoint:    *checkpoint,
 			Resume:        *resume,
 		}
-		if *progress {
+		switch progress {
+		case progressText:
 			opts.Progress = campaign.StderrProgress()
+		case progressJSON:
+			opts.Progress = campaign.JSONProgress(os.Stderr)
 		}
 		if opts.TargetRelErr == 0 && opts.MaxIterations == 0 && opts.MaxDuration == 0 {
 			// Checkpointing or telemetry on an otherwise fixed-size
@@ -216,3 +220,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cmp.MTTDL, cmp.MTTDLYears, cmp.Ratio)
 	return nil
 }
+
+// progressMode is the -progress flag: a boolean flag (bare -progress
+// streams the human-readable text lines) that also accepts a format
+// value, so -progress=json streams the machine-readable frames of
+// campaign.JSONProgress — the same schema raidreld serves over SSE.
+// Like any boolean flag, a value must be attached with '=': use
+// -progress=json, not -progress json.
+type progressMode string
+
+const (
+	progressOff  progressMode = ""
+	progressText progressMode = "text"
+	progressJSON progressMode = "json"
+)
+
+// String implements flag.Value.
+func (m *progressMode) String() string { return string(*m) }
+
+// Set implements flag.Value.
+func (m *progressMode) Set(v string) error {
+	switch v {
+	case "true", "text":
+		*m = progressText
+	case "false", "":
+		*m = progressOff
+	case "json":
+		*m = progressJSON
+	default:
+		return fmt.Errorf("want text or json, got %q", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets a bare -progress (no value) parse as -progress=true.
+func (m *progressMode) IsBoolFlag() bool { return true }

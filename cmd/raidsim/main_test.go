@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -218,4 +220,102 @@ func TestRunResumeMismatch(t *testing.T) {
 	}, &sb); err == nil {
 		t.Error("resume with mismatched config accepted")
 	}
+}
+
+// captureStderr runs f with os.Stderr redirected to a pipe and returns
+// what f wrote there (progress telemetry goes to stderr by design, so
+// stdout stays machine-parseable).
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = orig }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	f()
+	w.Close()
+	return <-done
+}
+
+func TestRunProgressJSON(t *testing.T) {
+	var sb strings.Builder
+	telemetry := captureStderr(t, func() {
+		if err := run(context.Background(), []string{"-iterations", "300", "-progress=json"}, &sb); err != nil {
+			t.Error(err)
+		}
+	})
+	lines := strings.Split(strings.TrimSpace(telemetry), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("no JSON telemetry on stderr:\n%s", telemetry)
+	}
+	for _, line := range lines {
+		var frame map[string]any
+		if err := json.Unmarshal([]byte(line), &frame); err != nil {
+			t.Fatalf("telemetry line is not JSON: %v\n%s", err, line)
+		}
+		if _, ok := frame["iterations"]; !ok {
+			t.Fatalf("frame missing iterations: %s", line)
+		}
+	}
+	var final map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final["done"] != true || final["iterations"] != float64(300) {
+		t.Fatalf("final frame: %v", final)
+	}
+	if !strings.Contains(sb.String(), "mission total") {
+		t.Errorf("summary missing with -progress=json:\n%s", sb.String())
+	}
+}
+
+func TestRunProgressText(t *testing.T) {
+	var sb strings.Builder
+	telemetry := captureStderr(t, func() {
+		// Bare -progress must still parse as a boolean flag and mean text.
+		if err := run(context.Background(), []string{"-iterations", "300", "-progress"}, &sb); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(telemetry, "campaign: done") {
+		t.Fatalf("no text telemetry on stderr:\n%s", telemetry)
+	}
+	// -progress=false and -progress=text must parse too.
+	if err := run(context.Background(), []string{"-iterations", "100", "-progress=false"}, &strings.Builder{}); err != nil {
+		t.Errorf("-progress=false rejected: %v", err)
+	}
+	telemetry = captureStderr(t, func() {
+		if err := run(context.Background(), []string{"-iterations", "100", "-progress=text"}, &strings.Builder{}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(telemetry, "campaign: done") {
+		t.Fatalf("-progress=text produced no text telemetry:\n%s", telemetry)
+	}
+}
+
+func TestRunProgressBadMode(t *testing.T) {
+	err := captureStderrErr(func() error {
+		return run(context.Background(), []string{"-progress=yaml"}, &strings.Builder{})
+	})
+	if err == nil || !strings.Contains(err.Error(), "text or json") {
+		t.Fatalf("bogus progress mode: %v", err)
+	}
+}
+
+// captureStderrErr silences the flag package's usage spam while asserting
+// on the returned error.
+func captureStderrErr(f func() error) error {
+	r, w, _ := os.Pipe()
+	orig := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = orig; w.Close(); r.Close() }()
+	return f()
 }

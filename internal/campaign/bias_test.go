@@ -192,7 +192,7 @@ func TestDecodeCheckpointRejectsWeightMismatch(t *testing.T) {
 	spec := Spec{Config: cfg, Seed: 1, MaxIterations: 10}.withDefaults()
 	doc := checkpointFile{
 		Version:     CheckpointVersion,
-		Fingerprint: fingerprint(spec),
+		Fingerprint: spec.Fingerprint(),
 		Seed:        1,
 		NextStream:  10,
 		Batches:     1,

@@ -49,6 +49,14 @@ type Spec struct {
 	// Engine selects the simulation engine (nil = sim.EventEngine).
 	Engine sim.Engine
 
+	// Offset shifts the campaign's RNG stream assignment: local iteration i
+	// draws from rng.ForStream(Seed, Offset+i). Shard j of n in an
+	// N-iteration campaign runs Offset = j·N/n with MaxIterations =
+	// (j+1)·N/n − j·N/n; merging the shard results in offset order
+	// reproduces the unsharded campaign bit-exactly. Nonzero offsets enter
+	// the fingerprint, so a shard checkpoint can only resume its own shard.
+	Offset int
+
 	// BatchSize is the number of iterations per batch (0 = DefaultBatchSize).
 	BatchSize int
 	// MinIterations is the floor below which the target-precision rule
@@ -127,10 +135,21 @@ func (s Spec) validate() error {
 	if s.MaxIterations < 0 {
 		return fmt.Errorf("campaign: max iterations %d negative", s.MaxIterations)
 	}
+	if s.Offset < 0 {
+		return fmt.Errorf("campaign: stream offset %d negative", s.Offset)
+	}
 	if s.TargetRelErr == 0 && s.MaxIterations == 0 && s.MaxDuration == 0 {
 		return fmt.Errorf("campaign: no stopping rule (set TargetRelErr, MaxIterations, or MaxDuration)")
 	}
 	return nil
+}
+
+// Validate reports whether the spec (after defaulting) could run — the
+// same checks Run performs before its first batch. Services accepting
+// specs over the wire use it to reject bad requests at submit time instead
+// of surfacing the error from a queued job later.
+func (s Spec) Validate() error {
+	return s.withDefaults().validate()
 }
 
 // checkpointPath returns where checkpoints should be written, or "".
@@ -266,7 +285,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			Seed:       spec.Seed,
 			Workers:    spec.Workers,
 			Engine:     spec.Engine,
-			Offset:     done,
+			Offset:     spec.Offset + done,
 		})
 		if err != nil {
 			return nil, err
@@ -281,6 +300,18 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 		report(spec, assemble(spec, run, run.Groups, batches, resumedFrom, spec.now().Sub(start)), start, false)
 	}
+}
+
+// Summarize builds the Result view — counts, CI, relative error, ESS — of
+// an externally assembled run, exactly as Run would report it at the same
+// state. The service layer uses it to summarize shard merges: k shard
+// results combined through sim.SparseResult.Merge are handed here with the
+// unsharded spec, yielding the same statistics an unsharded campaign of
+// run.Groups iterations would have produced. Reason is left as StopNone;
+// the run did not pass through a stopping rule.
+func Summarize(spec Spec, run *sim.SparseResult) *Result {
+	spec = spec.withDefaults()
+	return assemble(spec, run, run.Groups, 0, 0, 0)
 }
 
 // assemble builds the Result view of the current state.

@@ -2,7 +2,10 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -10,6 +13,7 @@ import (
 
 	"raidrel/internal/dist"
 	"raidrel/internal/sim"
+	"raidrel/internal/stats"
 )
 
 // fastConfig puts the per-group DDF probability near 3% — rare enough
@@ -144,6 +148,111 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
+// TestRunCancelKeepsCheckpointCurrent is the graceful-drain contract:
+// cancelling mid-campaign must (a) return the partial result with the
+// distinct StopCancelled reason, (b) leave the checkpoint reflecting every
+// completed batch, and (c) allow a resume that finishes bit-identically to
+// an uninterrupted campaign. raidreld's SIGTERM drain relies on all three.
+func TestRunCancelKeepsCheckpointCurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	spec := Spec{
+		Config:        fastConfig(),
+		Seed:          11,
+		BatchSize:     100,
+		MaxIterations: 500,
+		Checkpoint:    path,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cspec := spec
+	var batches int
+	cspec.Progress = ProgressFunc(func(s Snapshot) {
+		if !s.Done {
+			if batches++; batches == 2 {
+				cancel()
+			}
+		}
+	})
+	part, err := Run(ctx, cspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Reason != StopCancelled {
+		t.Fatalf("stop reason %v, want %v", part.Reason, StopCancelled)
+	}
+	if part.Iterations != 200 {
+		t.Fatalf("cancelled after batch 2 but completed %d iterations, want 200", part.Iterations)
+	}
+
+	// The checkpoint must be current: exactly the completed batches, not a
+	// stale earlier write.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	restored, restoredBatches, err := decodeCheckpoint(data, spec.withDefaults())
+	if err != nil {
+		t.Fatalf("checkpoint after cancel not loadable: %v", err)
+	}
+	if restored.Groups != part.Iterations || restoredBatches != part.Batches {
+		t.Fatalf("checkpoint holds %d iterations in %d batches, campaign stopped at %d in %d",
+			restored.Groups, restoredBatches, part.Iterations, part.Batches)
+	}
+
+	// Resume to completion and compare with an uninterrupted campaign.
+	rspec := spec
+	rspec.Resume = path
+	resumed, err := Run(context.Background(), rspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iterations != full.Iterations || !reflect.DeepEqual(resumed.Run.Events, full.Run.Events) {
+		t.Error("resumed-after-cancel campaign differs from uninterrupted campaign")
+	}
+}
+
+// TestShardComposition lifts the sim-level offset-composition guarantee to
+// the campaign level: k shard campaigns over disjoint Offset ranges, merged
+// in offset order, must be bit-identical to one unsharded campaign, and
+// Summarize must report the same statistics the unsharded run computed.
+func TestShardComposition(t *testing.T) {
+	const n, shards = 900, 3
+	spec := Spec{Config: fastConfig(), Seed: 13, BatchSize: 150, MaxIterations: n}
+	full, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := &sim.SparseResult{}
+	for i := 0; i < shards; i++ {
+		start, end := i*n/shards, (i+1)*n/shards
+		sspec := spec
+		sspec.Offset = start
+		sspec.MaxIterations = end - start
+		sres, err := Run(context.Background(), sspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Iterations != end-start {
+			t.Fatalf("shard %d ran %d iterations, want %d", i, sres.Iterations, end-start)
+		}
+		merged.Merge(sres.Run)
+	}
+
+	if merged.Groups != full.Run.Groups || !reflect.DeepEqual(merged.Events, full.Run.Events) {
+		t.Fatal("merged shard campaigns differ from the unsharded campaign")
+	}
+	sum := Summarize(spec, merged)
+	if sum.Iterations != full.Iterations || sum.GroupsWithDDF != full.GroupsWithDDF ||
+		sum.CI != full.CI || sum.RelErr != full.RelErr {
+		t.Errorf("Summarize of merged shards %+v differs from unsharded campaign %+v", sum, full)
+	}
+}
+
 func TestRunMinIterationsGuard(t *testing.T) {
 	// With a very loose target the first batch would already satisfy the
 	// precision rule; MinIterations must hold the campaign open.
@@ -229,6 +338,53 @@ func TestProgressTelemetry(t *testing.T) {
 	}
 	if final.Iterations != 450 {
 		t.Errorf("final snapshot at %d iterations, want 450", final.Iterations)
+	}
+}
+
+// TestJSONProgressFormat pins the machine-readable snapshot schema: one
+// JSON object per line, JSON-hostile values (infinite RelErr, unknown ETA)
+// omitted rather than encoded, and the final frame carrying done+reason.
+func TestJSONProgressFormat(t *testing.T) {
+	var sb strings.Builder
+	p := JSONProgress(&sb)
+	p.Report(Snapshot{Iterations: 1000, Batches: 1, Rate: 500, TotalDDFs: 3, OpOpDDFs: 2, LdOpDDFs: 1,
+		GroupsWithDDF: 3, CI: stats.Interval{Lo: 0.001, Hi: 0.005, Level: 0.95},
+		RelErr: 0.5, Elapsed: 2 * time.Second, ETA: 2 * time.Minute})
+	p.Report(Snapshot{Done: true, Reason: StopTarget, Iterations: 1000, Batches: 1,
+		RelErr: math.Inf(1), ETA: -1})
+
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2:\n%s", len(lines), sb.String())
+	}
+	var frame map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &frame); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	for key, want := range map[string]float64{
+		"iterations": 1000, "batches": 1, "ddfs": 3, "ddfs_op_op": 2, "ddfs_ld_op": 1,
+		"groups_with_ddf": 3, "ci_lo": 0.001, "ci_hi": 0.005, "confidence": 0.95,
+		"rel_err": 0.5, "rate": 500, "elapsed_s": 2, "eta_s": 120, "p": 0.003,
+	} {
+		if got, ok := frame[key].(float64); !ok || got != want {
+			t.Errorf("frame[%q] = %v, want %v", key, frame[key], want)
+		}
+	}
+	if _, present := frame["done"]; present {
+		t.Error("in-flight frame carries done")
+	}
+
+	var final map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &final); err != nil {
+		t.Fatalf("line 2 not valid JSON: %v", err)
+	}
+	if final["done"] != true || final["reason"] != StopTarget.String() {
+		t.Errorf("final frame %v missing done/reason", final)
+	}
+	for _, absent := range []string{"rel_err", "eta_s"} {
+		if _, present := final[absent]; present {
+			t.Errorf("final frame encodes %q despite unknown value", absent)
+		}
 	}
 }
 

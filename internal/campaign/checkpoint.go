@@ -49,16 +49,22 @@ func engineName(e sim.Engine) string {
 	return fmt.Sprintf("%T", e)
 }
 
-// fingerprint digests the campaign identity — configuration, seed, and
-// engine — so a checkpoint is only ever resumed into the campaign that
-// wrote it. Distribution parameters are captured via their value
-// formatting; a custom NHPP rate function cannot be hashed, so only its
-// presence and declared bound participate.
-func fingerprint(spec Spec) string {
-	cfg := spec.Config
+// Fingerprint digests the campaign identity — configuration, seed, engine,
+// and shard offset — so a checkpoint is only ever resumed into the campaign
+// that wrote it. The same digest keys the raidreld result cache and shard
+// manifests: one config identity shared by every layer that must agree on
+// "is this the same campaign?". Distribution parameters are captured via
+// their value formatting; a custom NHPP rate function cannot be hashed, so
+// only its presence and declared bound participate.
+//
+// The digest is stable across releases (pinned by TestFingerprintStability):
+// changing it would silently orphan every on-disk checkpoint and cached
+// result.
+func (s Spec) Fingerprint() string {
+	cfg := s.Config
 	h := fnv.New64a()
 	fmt.Fprintf(h, "drives=%d;red=%d;mission=%g;seed=%d;engine=%s;",
-		cfg.Drives, cfg.Redundancy, cfg.Mission, spec.Seed, engineName(spec.Engine))
+		cfg.Drives, cfg.Redundancy, cfg.Mission, s.Seed, engineName(s.Engine))
 	fmt.Fprintf(h, "ttop=%v;ttr=%v;ttld=%v;ttscrub=%v;",
 		cfg.Trans.TTOp, cfg.Trans.TTR, cfg.Trans.TTLd, cfg.Trans.TTScrub)
 	fmt.Fprintf(h, "nhpp=%t;nhppmax=%g;", cfg.Trans.TTLdRate != nil, cfg.Trans.TTLdRateMax)
@@ -70,6 +76,12 @@ func fingerprint(spec Spec) string {
 		// checkpoint (or one biased differently) — the weights would be
 		// inconsistent.
 		fmt.Fprintf(h, "bias=%v;", cfg.Bias)
+	}
+	if s.Offset != 0 {
+		// Included only for shard campaigns, so every pre-sharding
+		// fingerprint (and checkpoint) stays valid, while shard i's
+		// checkpoint can never be resumed into shard j.
+		fmt.Fprintf(h, "offset=%d;", s.Offset)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -83,7 +95,7 @@ func fingerprint(spec Spec) string {
 func saveCheckpoint(path string, spec Spec, run *sim.SparseResult, batches int) error {
 	doc := checkpointFile{
 		Version:     CheckpointVersion,
-		Fingerprint: fingerprint(spec),
+		Fingerprint: spec.Fingerprint(),
 		Seed:        spec.Seed,
 		NextStream:  run.Groups,
 		Batches:     batches,
@@ -147,7 +159,7 @@ func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
 	if doc.Version != CheckpointVersion {
 		return nil, 0, fmt.Errorf("checkpoint version %d, want %d", doc.Version, CheckpointVersion)
 	}
-	if want := fingerprint(spec); doc.Fingerprint != want {
+	if want := spec.Fingerprint(); doc.Fingerprint != want {
 		return nil, 0, fmt.Errorf("checkpoint fingerprint %s does not match campaign %s (config, seed, or engine changed)",
 			doc.Fingerprint, want)
 	}

@@ -182,7 +182,7 @@ func TestResumeRejectsBadFiles(t *testing.T) {
 
 	// Future version: loader must refuse rather than guess.
 	futurePath := filepath.Join(dir, "future.json")
-	doc := checkpointFile{Version: CheckpointVersion + 1, Fingerprint: fingerprint(spec.withDefaults()), Seed: 1}
+	doc := checkpointFile{Version: CheckpointVersion + 1, Fingerprint: spec.withDefaults().Fingerprint(), Seed: 1}
 	data, err := json.Marshal(doc)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"testing"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/sim"
+)
+
+// TestFingerprintStability pins the fingerprint of a fully specified
+// campaign. The digest is shared infrastructure: checkpoints embed it,
+// the raidreld result cache keys on it, and shard manifests compare it —
+// so a silent change would orphan every on-disk checkpoint and split the
+// cache. If this test fails, either revert the change to Fingerprint or
+// bump CheckpointVersion and migrate deliberately.
+func TestFingerprintStability(t *testing.T) {
+	spec := Spec{
+		Config: sim.Config{
+			Drives:     8,
+			Redundancy: 1,
+			Mission:    87600,
+			Trans: sim.Transitions{
+				TTOp: dist.MustExponential(2.5e-5),
+				TTR:  dist.MustExponential(1e-1),
+			},
+		},
+		Seed: 42,
+	}
+	const want = "41bd9c5d9dffb37f"
+	if got := spec.Fingerprint(); got != want {
+		t.Errorf("fingerprint changed: got %s, want %s (cache keys and checkpoints would be orphaned)", got, want)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Spec{Config: fastConfig(), Seed: 1}
+	fp := base.Fingerprint()
+
+	seed := base
+	seed.Seed = 2
+	if seed.Fingerprint() == fp {
+		t.Error("seed change did not change the fingerprint")
+	}
+
+	drives := base
+	drives.Config.Drives = 9
+	if drives.Fingerprint() == fp {
+		t.Error("config change did not change the fingerprint")
+	}
+
+	engine := base
+	engine.Engine = sim.IntervalEngine{}
+	if engine.Fingerprint() == fp {
+		t.Error("engine change did not change the fingerprint")
+	}
+
+	// Shard offsets are part of the identity (a shard checkpoint must not
+	// resume into another shard), but offset zero must reproduce the
+	// pre-sharding fingerprint so existing checkpoints stay resumable.
+	shard := base
+	shard.Offset = 500
+	if shard.Fingerprint() == fp {
+		t.Error("shard offset did not change the fingerprint")
+	}
+	zero := base
+	zero.Offset = 0
+	if zero.Fingerprint() != fp {
+		t.Error("offset 0 perturbed the fingerprint (legacy checkpoints orphaned)")
+	}
+
+	// Stopping knobs are deliberately NOT identity: the same simulated
+	// stream at a different budget shares its checkpoints.
+	budget := base
+	budget.MaxIterations = 12345
+	budget.TargetRelErr = 0.05
+	if budget.Fingerprint() != fp {
+		t.Error("stopping knobs perturbed the fingerprint")
+	}
+}

@@ -16,7 +16,7 @@ func FuzzCheckpointDecode(f *testing.F) {
 	// fields the decoder validates.
 	valid := checkpointFile{
 		Version:     CheckpointVersion,
-		Fingerprint: fingerprint(spec),
+		Fingerprint: spec.Fingerprint(),
 		Seed:        7,
 		NextStream:  100,
 		Batches:     1,

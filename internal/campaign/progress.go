@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -39,6 +40,109 @@ type Snapshot struct {
 	// Done marks the final snapshot; Reason says why the campaign ended.
 	Done   bool
 	Reason StopReason
+}
+
+// snapshotJSON is the wire form of a Snapshot: flat, machine-readable, and
+// free of JSON-hostile values (`+Inf` relative errors and negative "unknown"
+// ETAs are omitted rather than encoded). It is the line format of
+// JSONProgress and the frame format of the raidreld streaming endpoint.
+type snapshotJSON struct {
+	Iterations    int      `json:"iterations"`
+	Batches       int      `json:"batches"`
+	TotalDDFs     int      `json:"ddfs"`
+	OpOpDDFs      int      `json:"ddfs_op_op"`
+	LdOpDDFs      int      `json:"ddfs_ld_op"`
+	GroupsWithDDF int      `json:"groups_with_ddf"`
+	P             float64  `json:"p"`
+	CILo          float64  `json:"ci_lo"`
+	CIHi          float64  `json:"ci_hi"`
+	Confidence    float64  `json:"confidence,omitempty"`
+	RelErr        *float64 `json:"rel_err,omitempty"`
+	ESS           float64  `json:"ess,omitempty"`
+	Rate          float64  `json:"rate,omitempty"`
+	ElapsedS      float64  `json:"elapsed_s"`
+	ETAS          *float64 `json:"eta_s,omitempty"`
+	Done          bool     `json:"done,omitempty"`
+	Reason        string   `json:"reason,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with the snapshotJSON wire form.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	doc := snapshotJSON{
+		Iterations:    s.Iterations,
+		Batches:       s.Batches,
+		TotalDDFs:     s.TotalDDFs,
+		OpOpDDFs:      s.OpOpDDFs,
+		LdOpDDFs:      s.LdOpDDFs,
+		GroupsWithDDF: s.GroupsWithDDF,
+		P:             phat(s),
+		CILo:          s.CI.Lo,
+		CIHi:          s.CI.Hi,
+		Confidence:    s.CI.Level,
+		ESS:           s.ESS,
+		Rate:          s.Rate,
+		ElapsedS:      s.Elapsed.Seconds(),
+		Done:          s.Done,
+	}
+	if !math.IsInf(s.RelErr, 1) {
+		doc.RelErr = &s.RelErr
+	}
+	if !s.Done && s.ETA >= 0 {
+		etas := s.ETA.Seconds()
+		doc.ETAS = &etas
+	}
+	if s.Done {
+		doc.Reason = s.Reason.String()
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON inverts MarshalJSON, so Go clients of the wire form (a
+// raidsim -progress=json log, a raidreld SSE frame or status document) can
+// decode frames back into Snapshots. Omitted fields take their "unknown"
+// in-memory values: a missing rel_err is +Inf, a missing eta_s is -1.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	var doc snapshotJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	*s = Snapshot{
+		Iterations:    doc.Iterations,
+		Batches:       doc.Batches,
+		TotalDDFs:     doc.TotalDDFs,
+		OpOpDDFs:      doc.OpOpDDFs,
+		LdOpDDFs:      doc.LdOpDDFs,
+		GroupsWithDDF: doc.GroupsWithDDF,
+		CI:            stats.Interval{Lo: doc.CILo, Hi: doc.CIHi, Level: doc.Confidence},
+		RelErr:        math.Inf(1),
+		ESS:           doc.ESS,
+		Rate:          doc.Rate,
+		Elapsed:       time.Duration(doc.ElapsedS * float64(time.Second)),
+		ETA:           -1,
+		Done:          doc.Done,
+		Reason:        parseStopReason(doc.Reason),
+	}
+	if doc.RelErr != nil {
+		s.RelErr = *doc.RelErr
+	}
+	if doc.ETAS != nil {
+		s.ETA = time.Duration(*doc.ETAS * float64(time.Second))
+	}
+	if s.Done {
+		s.ETA = 0
+	}
+	return nil
+}
+
+// parseStopReason inverts StopReason.String; unknown strings (including
+// the empty in-flight frame) map to StopNone.
+func parseStopReason(text string) StopReason {
+	for r := StopNone; r <= StopCancelled; r++ {
+		if r.String() == text {
+			return r
+		}
+	}
+	return StopNone
 }
 
 // Progress receives campaign telemetry. Implementations must tolerate
@@ -144,6 +248,18 @@ func WriterProgress(w io.Writer) Progress {
 
 // StderrProgress returns the default reporter writing to standard error.
 func StderrProgress() Progress { return WriterProgress(os.Stderr) }
+
+// JSONProgress returns a Progress sink that writes one JSON object per
+// snapshot to w, newline-delimited — the machine-readable counterpart of
+// WriterProgress, behind raidsim -progress=json and the raidreld streaming
+// endpoint. Encoding errors are swallowed: telemetry must never abort a
+// campaign.
+func JSONProgress(w io.Writer) Progress {
+	enc := json.NewEncoder(w)
+	return ProgressFunc(func(s Snapshot) {
+		_ = enc.Encode(s) // Encode appends the newline
+	})
+}
 
 func phat(s Snapshot) float64 {
 	if s.ESS > 0 {

@@ -22,9 +22,9 @@ import (
 // WeibullSpec is a three-parameter Weibull in the paper's (γ, η, β)
 // notation.
 type WeibullSpec struct {
-	Location float64 // γ, hours
-	Scale    float64 // η, hours
-	Shape    float64 // β
+	Location float64 `json:"location,omitempty"` // γ, hours
+	Scale    float64 `json:"scale"`              // η, hours
+	Shape    float64 `json:"shape"`              // β
 }
 
 // Dist materializes the spec.
@@ -37,52 +37,52 @@ func (s WeibullSpec) Dist() (dist.Weibull, error) {
 // mission, which processes are enabled).
 type Params struct {
 	// GroupSize is the total number of drives (the paper's N+1).
-	GroupSize int
+	GroupSize int `json:"group_size"`
 	// Redundancy is the number of tolerated simultaneous drive losses:
 	// 1 models RAID 4/5, 2 models the RAID 6 extension.
-	Redundancy int
+	Redundancy int `json:"redundancy"`
 	// MissionHours is the simulated horizon (87,600 in the paper).
-	MissionHours float64
+	MissionHours float64 `json:"mission_hours"`
 
 	// TTOp is the time-to-operational-failure distribution.
-	TTOp WeibullSpec
+	TTOp WeibullSpec `json:"tt_op"`
 	// TTR is the time-to-restore distribution.
-	TTR WeibullSpec
+	TTR WeibullSpec `json:"ttr"`
 
 	// LatentDefects enables the usage-dependent data-corruption process.
-	LatentDefects bool
+	LatentDefects bool `json:"latent_defects,omitempty"`
 	// TTLd is the time-to-latent-defect distribution (β = 1 in the paper:
 	// corruption arrives at a constant usage-driven rate).
-	TTLd WeibullSpec
+	TTLd WeibullSpec `json:"tt_ld"`
 
 	// Scrub enables background scrubbing of latent defects.
-	Scrub bool
+	Scrub bool `json:"scrub,omitempty"`
 	// TTScrub is the time from defect creation to scrub correction.
-	TTScrub WeibullSpec
+	TTScrub WeibullSpec `json:"tt_scrub"`
 
 	// SlotTTOp optionally gives each drive slot its own operational-failure
 	// distribution — a group assembled from mixed manufacturing vintages
 	// (Fig. 2). When non-empty its length must equal GroupSize; zero-value
 	// entries fall back to TTOp.
-	SlotTTOp []WeibullSpec
+	SlotTTOp []WeibullSpec `json:"slot_tt_op,omitempty"`
 
 	// Spares optionally bounds the spare-drive pool (the paper assumes a
 	// spare is always available); nil keeps that assumption.
-	Spares *sim.SparePolicy
+	Spares *sim.SparePolicy `json:"spares,omitempty"`
 
 	// Bias optionally enables failure-biased importance sampling: hazards
 	// are scaled up by the given factors during sampling and every
 	// estimate is reweighted by the likelihood ratio, so rare DDFs are
 	// reached with orders of magnitude fewer iterations at unchanged
 	// expectation. The zero value is plain Monte Carlo.
-	Bias sim.Bias
+	Bias sim.Bias `json:"bias"`
 
 	// ExponentialOp forces a constant-rate TTOp with the same mean as the
 	// Weibull spec (the paper's "c-" variants in Fig. 6).
-	ExponentialOp bool
+	ExponentialOp bool `json:"exponential_op,omitempty"`
 	// ExponentialRestore forces a constant-rate TTR with the same mean
 	// (the "-c" variants).
-	ExponentialRestore bool
+	ExponentialRestore bool `json:"exponential_restore,omitempty"`
 }
 
 // Base case of the paper's Table 2 (§6, reconstructed — see DESIGN.md):

@@ -1,0 +1,354 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"raidrel/internal/campaign"
+)
+
+// Handler returns raidreld's HTTP/JSON API:
+//
+//	POST   /v1/jobs            submit a JobSpec; identical specs coalesce
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}        job status + latest progress
+//	GET    /v1/jobs/{id}/result final result (events included)
+//	GET    /v1/jobs/{id}/stream live progress, one SSE frame per batch
+//	DELETE /v1/jobs/{id}        cancel (checkpoint stays current)
+//	POST   /v1/merge           merge completed shard jobs exactly
+//	GET    /healthz            liveness + drain state
+//	GET    /metrics            counter snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/merge", s.handleMerge)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// jobDoc is the wire view of a job's status.
+type jobDoc struct {
+	ID          string             `json:"id"`
+	State       JobState           `json:"state"`
+	Fingerprint string             `json:"fingerprint"`
+	Priority    int                `json:"priority,omitempty"`
+	Shard       *Shard             `json:"shard,omitempty"`
+	Merged      bool               `json:"merged,omitempty"`
+	Cached      bool               `json:"cached,omitempty"`
+	Coalesced   bool               `json:"coalesced,omitempty"`
+	SubmittedAt string             `json:"submitted_at,omitempty"`
+	StartedAt   string             `json:"started_at,omitempty"`
+	FinishedAt  string             `json:"finished_at,omitempty"`
+	Progress    *campaign.Snapshot `json:"progress,omitempty"`
+	Error       string             `json:"error,omitempty"`
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func (s *Server) jobDoc(j *Job) jobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := jobDoc{
+		ID:          j.ID,
+		State:       j.state,
+		Fingerprint: j.Fingerprint,
+		Priority:    j.Spec.Priority,
+		Shard:       j.Spec.Shard,
+		Merged:      j.Merged,
+		SubmittedAt: stamp(j.submitted),
+		StartedAt:   stamp(j.started),
+		FinishedAt:  stamp(j.finished),
+	}
+	if j.hasSnap {
+		snap := j.last
+		doc.Progress = &snap
+	}
+	if j.err != nil {
+		doc.Error = j.err.Error()
+	}
+	return doc
+}
+
+// eventDoc is one DDF in the result body, in the checkpoint file's flat
+// key scheme: group, time, cause, and (when importance sampling) the
+// group's log likelihood-ratio weight.
+type eventDoc struct {
+	Group int     `json:"g"`
+	Time  float64 `json:"t"`
+	Cause int     `json:"c"`
+	LogW  float64 `json:"lw,omitempty"`
+}
+
+// resultDoc is the wire view of a finished campaign.
+type resultDoc struct {
+	ID            string     `json:"id"`
+	Fingerprint   string     `json:"fingerprint"`
+	Iterations    int        `json:"iterations"`
+	ResumedFrom   int        `json:"resumed_from,omitempty"`
+	Batches       int        `json:"batches,omitempty"`
+	GroupsWithDDF int        `json:"groups_with_ddf"`
+	TotalDDFs     int        `json:"ddfs"`
+	OpOpDDFs      int        `json:"ddfs_op_op"`
+	LdOpDDFs      int        `json:"ddfs_ld_op"`
+	P             float64    `json:"p"`
+	CILo          float64    `json:"ci_lo"`
+	CIHi          float64    `json:"ci_hi"`
+	Confidence    float64    `json:"confidence"`
+	RelErr        *float64   `json:"rel_err,omitempty"`
+	ESS           float64    `json:"ess,omitempty"`
+	DDFsPer1000   float64    `json:"ddfs_per_1000_groups"`
+	Reason        string     `json:"reason"`
+	ElapsedS      float64    `json:"elapsed_s"`
+	Events        []eventDoc `json:"events"`
+}
+
+func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
+	doc := resultDoc{
+		ID:            j.ID,
+		Fingerprint:   j.Fingerprint,
+		Iterations:    res.Iterations,
+		ResumedFrom:   res.ResumedFrom,
+		Batches:       res.Batches,
+		GroupsWithDDF: res.GroupsWithDDF,
+		Confidence:    res.CI.Level,
+		CILo:          res.CI.Lo,
+		CIHi:          res.CI.Hi,
+		ESS:           res.ESS,
+		Reason:        res.Reason.String(),
+		ElapsedS:      res.Elapsed.Seconds(),
+	}
+	if j.Merged {
+		doc.Reason = "merged"
+	}
+	if res.ESS > 0 {
+		doc.P = (res.CI.Lo + res.CI.Hi) / 2
+	} else if res.Iterations > 0 {
+		doc.P = float64(res.GroupsWithDDF) / float64(res.Iterations)
+	}
+	if !math.IsInf(res.RelErr, 1) {
+		relErr := res.RelErr
+		doc.RelErr = &relErr
+	}
+	if run := res.Run; run != nil {
+		doc.TotalDDFs = run.TotalDDFs
+		doc.OpOpDDFs = run.OpOpDDFs
+		doc.LdOpDDFs = run.LdOpDDFs
+		if res.Iterations > 0 {
+			total, _, _ := run.WeightedCauseTotals()
+			doc.DDFsPer1000 = total * 1000 / float64(res.Iterations)
+		}
+		doc.Events = make([]eventDoc, 0, len(run.Events))
+		for _, e := range run.Events {
+			doc.Events = append(doc.Events, eventDoc{Group: e.Group, Time: e.Time, Cause: int(e.Cause), LogW: e.LogW})
+		}
+	}
+	return doc
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	j, reused, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	doc := s.jobDoc(j)
+	code := http.StatusAccepted
+	if reused {
+		if doc.State == JobDone {
+			doc.Cached = true
+			code = http.StatusOK
+		} else {
+			doc.Coalesced = true
+		}
+	}
+	writeJSON(w, code, doc)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	docs := make([]jobDoc, 0, len(jobs))
+	for _, j := range jobs {
+		docs = append(docs, s.jobDoc(j))
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobDoc(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+		return
+	}
+	res, err := j.Result()
+	switch j.State() {
+	case JobDone:
+		writeJSON(w, http.StatusOK, s.resultDoc(j, res))
+	case JobFailed:
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %v", j.ID, err))
+	default:
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s, result not available", j.ID, j.State()))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %s", id))
+		return
+	}
+	if err := s.Cancel(id); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobDoc(j))
+}
+
+// handleStream serves live campaign progress as Server-Sent Events: one
+// `data:` frame per batch in the campaign.Snapshot JSON schema (the same
+// line format as raidsim -progress=json), then a terminal `event: end`
+// frame carrying the job's final state.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ch := j.Subscribe()
+	defer j.Unsubscribe(ch)
+
+	frame := func(snap campaign.Snapshot) bool {
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		flusher.Flush()
+		return true
+	}
+	for {
+		select {
+		case snap := <-ch:
+			if !frame(snap) {
+				return
+			}
+		case <-j.Done():
+			// Flush any frames published before the job went terminal,
+			// then send the end event.
+			for {
+				select {
+				case snap := <-ch:
+					if !frame(snap) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", j.State())
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// mergeRequest is the body of POST /v1/merge.
+type mergeRequest struct {
+	// Jobs lists the completed shard jobs to merge, in any order.
+	Jobs []string `json:"jobs"`
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	var req mergeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad merge request: %w", err))
+		return
+	}
+	j, err := s.MergeJobs(req.Jobs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, _ := j.Result()
+	writeJSON(w, http.StatusOK, s.resultDoc(j, res))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	status := "ok"
+	if m.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"draining": m.Draining,
+		"running":  m.Running,
+		"queued":   m.QueueDepth,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

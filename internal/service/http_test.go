@@ -1,0 +1,363 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"raidrel/internal/campaign"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain(context.Background())
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getJSON(t *testing.T, url string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantCode, body)
+	}
+	if v == nil {
+		resp.Body.Close()
+		return
+	}
+	decodeJSON(t, resp, v)
+}
+
+func waitHTTPDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var doc jobDoc
+		getJSON(t, base+"/v1/jobs/"+id, http.StatusOK, &doc)
+		switch doc.State {
+		case JobDone:
+			return
+		case JobFailed, JobCanceled:
+			t.Fatalf("job %s ended %s: %s", id, doc.State, doc.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, doc.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPSubmitResultAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 2, Workers: 2})
+	spec := JobSpec{Params: fastParams(), Seed: 81, Iterations: 2000}
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want %d", resp.StatusCode, http.StatusAccepted)
+	}
+	var doc jobDoc
+	decodeJSON(t, resp, &doc)
+	if doc.ID == "" || doc.Fingerprint == "" {
+		t.Fatalf("submit doc incomplete: %+v", doc)
+	}
+	waitHTTPDone(t, ts.URL, doc.ID)
+
+	var res resultDoc
+	getJSON(t, ts.URL+"/v1/jobs/"+doc.ID+"/result", http.StatusOK, &res)
+	if res.Iterations != 2000 || res.Fingerprint != doc.Fingerprint {
+		t.Fatalf("result doc: %+v", res)
+	}
+	// The served result is the campaign result, bit for bit.
+	cspec, err := spec.campaignSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Run(context.Background(), cspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroupsWithDDF != want.GroupsWithDDF || res.TotalDDFs != want.Run.TotalDDFs ||
+		res.CILo != want.CI.Lo || res.CIHi != want.CI.Hi || len(res.Events) != len(want.Run.Events) {
+		t.Fatalf("served result differs from a direct campaign run: %+v", res)
+	}
+	for i, e := range want.Run.Events {
+		got := res.Events[i]
+		if got.Group != e.Group || got.Time != e.Time || got.Cause != int(e.Cause) {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, e)
+		}
+	}
+
+	// Identical resubmission: 200 with cached=true, same job ID.
+	resp = postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit = %d, want %d", resp.StatusCode, http.StatusOK)
+	}
+	var hit jobDoc
+	decodeJSON(t, resp, &hit)
+	if !hit.Cached || hit.ID != doc.ID || hit.State != JobDone {
+		t.Fatalf("cached submit doc: %+v", hit)
+	}
+
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", http.StatusOK, &m)
+	if m.CacheHits != 1 || m.IterationsSimulated != 2000 || m.Completed != 1 {
+		t.Fatalf("metrics after cache hit: %+v", m)
+	}
+
+	var jobs []jobDoc
+	getJSON(t, ts.URL+"/v1/jobs", http.StatusOK, &jobs)
+	if len(jobs) != 1 || jobs[0].ID != doc.ID {
+		t.Fatalf("job list: %+v", jobs)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 1, Workers: 2})
+
+	// Malformed body, unknown field, and invalid spec are all 400s.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"bogus_knob":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/jobs", JobSpec{Params: fastParams()})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec = %d", resp.StatusCode)
+	}
+
+	getJSON(t, ts.URL+"/v1/jobs/j999999", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/v1/jobs/j999999/result", http.StatusNotFound, nil)
+
+	// Result of a non-terminal job is a 409.
+	resp = postJSON(t, ts.URL+"/v1/jobs", longSpec(82))
+	var doc jobDoc
+	decodeJSON(t, resp, &doc)
+	getJSON(t, ts.URL+"/v1/jobs/"+doc.ID+"/result", http.StatusConflict, nil)
+
+	// DELETE cancels; a second DELETE conflicts; result stays unavailable.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+doc.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", dresp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur jobDoc
+		getJSON(t, ts.URL+"/v1/jobs/"+doc.ID, http.StatusOK, &cur)
+		if cur.State == JobCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not canceled, state %s", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel = %d", dresp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+doc.ID+"/result", http.StatusConflict, nil)
+}
+
+// TestHTTPShardMerge drives the sharded workflow purely over the wire:
+// submit the k shard jobs, merge them, and check the merged body equals a
+// direct unsharded campaign run event for event.
+func TestHTTPShardMerge(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 3, Workers: 1})
+	base := JobSpec{Params: fastParams(), Seed: 83, Iterations: 1500}
+	const k = 3
+
+	ids := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		js := base
+		js.Shard = &Shard{Index: i, Count: k}
+		resp := postJSON(t, ts.URL+"/v1/jobs", js)
+		var doc jobDoc
+		decodeJSON(t, resp, &doc)
+		if doc.Shard == nil || doc.Shard.Index != i {
+			t.Fatalf("shard doc: %+v", doc)
+		}
+		ids = append(ids, doc.ID)
+	}
+	for _, id := range ids {
+		waitHTTPDone(t, ts.URL, id)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/merge", map[string]any{"jobs": ids})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("merge = %d: %s", resp.StatusCode, body)
+	}
+	var merged resultDoc
+	decodeJSON(t, resp, &merged)
+	if merged.Reason != "merged" || merged.Iterations != base.Iterations {
+		t.Fatalf("merged doc: %+v", merged)
+	}
+
+	cspec, err := base.campaignSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Run(context.Background(), cspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEvents := make([]eventDoc, 0, len(want.Run.Events))
+	for _, e := range want.Run.Events {
+		gotEvents = append(gotEvents, eventDoc{Group: e.Group, Time: e.Time, Cause: int(e.Cause), LogW: e.LogW})
+	}
+	if !reflect.DeepEqual(merged.Events, gotEvents) {
+		t.Fatal("merged events differ from the unsharded run")
+	}
+	if merged.GroupsWithDDF != want.GroupsWithDDF || merged.CILo != want.CI.Lo || merged.CIHi != want.CI.Hi {
+		t.Fatalf("merged summary differs: %+v", merged)
+	}
+
+	// The whole campaign is now served from the merged cache entry.
+	resp = postJSON(t, ts.URL+"/v1/jobs", base)
+	var hit jobDoc
+	decodeJSON(t, resp, &hit)
+	if resp.StatusCode != http.StatusOK || !hit.Cached || !hit.Merged {
+		t.Fatalf("unsharded submit after merge: code=%d doc=%+v", resp.StatusCode, hit)
+	}
+
+	// Merging a partial shard set is a 400.
+	resp = postJSON(t, ts.URL+"/v1/merge", map[string]any{"jobs": ids[:k-1]})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial merge = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPStream reads the SSE progress feed: at least one per-batch data
+// frame in the Snapshot JSON schema, then the terminal end event.
+func TestHTTPStream(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxConcurrent: 1, Workers: 2})
+	spec := JobSpec{Params: fastParams(), Seed: 84, Iterations: 20_000, BatchSize: 500}
+	resp := postJSON(t, ts.URL+"/v1/jobs", spec)
+	var doc jobDoc
+	decodeJSON(t, resp, &doc)
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(sresp.Body) // the stream closes after the end event
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "data: {\"iterations\":") {
+		t.Fatalf("no snapshot frames in stream:\n%s", text)
+	}
+	if !strings.Contains(text, "event: end") || !strings.Contains(text, `{"state":"done"}`) {
+		t.Fatalf("stream missing terminal end event:\n%s", text)
+	}
+	// The final data frame carries the campaign's own completion snapshot.
+	if !strings.Contains(text, fmt.Sprintf("\"iterations\":%d", spec.Iterations)) {
+		t.Fatalf("stream never reported the final iteration count:\n%s", text)
+	}
+
+	// Streaming a finished job replays the last snapshot and ends at once.
+	sresp, err = http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "event: end") {
+		t.Fatalf("finished-job stream missing end event:\n%s", body)
+	}
+}
+
+func TestHTTPHealth(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxConcurrent: 1})
+	var h struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "ok" || h.Draining {
+		t.Fatalf("healthz: %+v", h)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("healthz while draining: %+v", h)
+	}
+	// Submissions are refused with 503 once draining.
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobSpec{Params: fastParams(), Seed: 1, Iterations: 100})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,305 @@
+// Package service is raidreld's scale-out layer: a job model, a priority
+// queue, a concurrent-campaign scheduler over a shared worker pool, a
+// fingerprint-keyed result cache with single-flight dedup, and exact shard
+// merging. The paper's DDF estimates are expensive Monte Carlo campaigns
+// over a small, heavily repeated space of RAID configurations — exactly
+// the shape that should be simulated once and then served from memory: a
+// million users asking about the same few thousand configs hit memoized
+// confidence intervals, not the engines.
+//
+// Everything leans on guarantees the lower layers already provide:
+// campaigns are bit-exact for any worker count and batch size, stream
+// offsets compose (`sim.RunSpec.Offset`), checkpoints survive kills, and
+// the Progress sink is pluggable — so the service adds coordination, not
+// new numerics.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"raidrel/internal/campaign"
+	"raidrel/internal/core"
+)
+
+// Shard designates one slice of a sharded campaign: shard Index of Count
+// runs iteration range [Index·N/Count, (Index+1)·N/Count) of an
+// N-iteration campaign via the campaign stream offset. Shards are fixed
+// size by construction — adaptive stopping would make the slice boundaries
+// depend on observed data, and exact merging requires the union of shard
+// ranges to be the iteration set an unsharded run would simulate.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Range returns the shard's [start, end) iteration range of an
+// n-iteration campaign.
+func (s Shard) Range(n int) (start, end int) {
+	return s.Index * n / s.Count, (s.Index + 1) * n / s.Count
+}
+
+// JobSpec is the wire form of a campaign request. Params is the full model
+// parameterization (the paper's Table 2 plus structural knobs); the rest
+// steers the campaign itself. Exactly the knobs that change the simulated
+// result participate in the cache identity — see CacheKey.
+type JobSpec struct {
+	// Params parameterizes the reliability model.
+	Params core.Params `json:"params"`
+	// Seed is the campaign RNG seed.
+	Seed uint64 `json:"seed"`
+	// Iterations is the fixed iteration budget; for sharded jobs it is the
+	// total campaign size N that the shards slice up.
+	Iterations int `json:"iterations,omitempty"`
+	// TargetRelErr stops the campaign adaptively at this CI relative
+	// half-width (0 disables; incompatible with sharding).
+	TargetRelErr float64 `json:"target_rel_err,omitempty"`
+	// Confidence is the CI level (0 = 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// BatchSize is iterations per campaign batch (0 = default). It only
+	// affects results for adaptive jobs, where stopping is evaluated at
+	// batch boundaries.
+	BatchSize int `json:"batch,omitempty"`
+	// MaxDurationS is a wall-clock budget in seconds (0 = unlimited;
+	// incompatible with sharding — shard sizes must be deterministic).
+	MaxDurationS float64 `json:"max_duration_s,omitempty"`
+	// Priority orders the queue: higher runs first, FIFO within a level.
+	Priority int `json:"priority,omitempty"`
+	// Shard, when set, makes this job one fixed-size slice of a sharded
+	// campaign.
+	Shard *Shard `json:"shard,omitempty"`
+}
+
+// campaignSpec lowers the job to a runnable campaign spec. The returned
+// spec has no checkpoint, progress, or worker settings — the scheduler
+// fills those in.
+func (js JobSpec) campaignSpec() (campaign.Spec, error) {
+	m, err := core.New(js.Params)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	spec := campaign.Spec{
+		Config:        m.SimConfig(),
+		Seed:          js.Seed,
+		BatchSize:     js.BatchSize,
+		TargetRelErr:  js.TargetRelErr,
+		Confidence:    js.Confidence,
+		MaxIterations: js.Iterations,
+		MaxDuration:   time.Duration(js.MaxDurationS * float64(time.Second)),
+	}
+	if js.Shard != nil {
+		start, end := js.Shard.Range(js.Iterations)
+		spec.Offset = start
+		spec.MaxIterations = end - start
+	}
+	return spec, nil
+}
+
+// Validate rejects specs that could not run or could not merge.
+func (js JobSpec) Validate() error {
+	if s := js.Shard; s != nil {
+		if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+			return fmt.Errorf("service: shard %d/%d invalid", s.Index, s.Count)
+		}
+		if js.Iterations <= 0 {
+			return fmt.Errorf("service: sharded job needs a positive total iteration count")
+		}
+		if js.TargetRelErr != 0 || js.MaxDurationS != 0 {
+			return fmt.Errorf("service: sharded jobs must be fixed size (no target_rel_err or max_duration_s): shard boundaries depend on them")
+		}
+		if start, end := s.Range(js.Iterations); end <= start {
+			return fmt.Errorf("service: shard %d/%d of %d iterations is empty", s.Index, s.Count, js.Iterations)
+		}
+	}
+	spec, err := js.campaignSpec()
+	if err != nil {
+		return err
+	}
+	return spec.Validate()
+}
+
+// Fingerprint is the campaign config identity — the same digest the
+// checkpoint layer embeds — including the shard offset for shard jobs.
+func (js JobSpec) Fingerprint() (string, error) {
+	spec, err := js.campaignSpec()
+	if err != nil {
+		return "", err
+	}
+	return spec.Fingerprint(), nil
+}
+
+// CacheKey is the result-cache identity: the config fingerprint plus every
+// knob that changes what the campaign computes. Fixed-size jobs are
+// bit-exact for any batch size and worker count, so neither participates;
+// adaptive jobs evaluate their stopping rule at batch boundaries, so for
+// them the batch size does. Two requests with equal keys receive the same
+// answer, simulated at most once.
+func (js JobSpec) CacheKey() (string, error) {
+	fp, err := js.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|iters=%d;target=%g;conf=%g;maxdur=%g",
+		fp, js.Iterations, js.TargetRelErr, js.Confidence, js.MaxDurationS)
+	if js.TargetRelErr != 0 {
+		fmt.Fprintf(&b, ";batch=%d", js.BatchSize)
+	}
+	if js.Shard != nil {
+		fmt.Fprintf(&b, "|shard=%d/%d", js.Shard.Index, js.Shard.Count)
+	}
+	return b.String(), nil
+}
+
+// unsharded returns the job the whole campaign would be: the same spec
+// with the shard designation removed. Merged shard results are cached
+// under this spec's key, so a later unsharded submission of the same
+// campaign is a cache hit.
+func (js JobSpec) unsharded() JobSpec {
+	js.Shard = nil
+	return js
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a scheduler slot.
+	JobQueued JobState = "queued"
+	// JobRunning: a scheduler slot is simulating the campaign.
+	JobRunning JobState = "running"
+	// JobDone: finished; the result is cached and served from memory.
+	JobDone JobState = "done"
+	// JobFailed: the campaign returned an error.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by request or server drain. A partial result
+	// and a current checkpoint may exist; resubmitting the same spec
+	// resumes from the checkpoint.
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one tracked campaign. The scheduler owns the lifecycle; HTTP
+// handlers and progress subscribers only read through the accessor
+// methods.
+type Job struct {
+	// ID is the server-assigned handle.
+	ID string
+	// Spec is the submitted request.
+	Spec JobSpec
+	// Fingerprint is the campaign config identity (shard-aware).
+	Fingerprint string
+	// CacheKey is the result-cache identity.
+	CacheKey string
+	// Merged marks a job materialized by a shard merge rather than
+	// simulated.
+	Merged bool
+
+	seq int // submission order, the FIFO tiebreak within a priority level
+
+	mu        sync.Mutex
+	state     JobState
+	last      campaign.Snapshot
+	hasSnap   bool
+	subs      map[chan campaign.Snapshot]struct{}
+	result    *campaign.Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    func()
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// State returns the lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the campaign result and error; the result is non-nil for
+// done jobs and for canceled jobs that completed at least one batch.
+func (j *Job) Result() (*campaign.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Progress returns the latest telemetry snapshot, if any arrived yet.
+func (j *Job) Progress() (campaign.Snapshot, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.last, j.hasSnap
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// publish records a telemetry snapshot and fans it out to subscribers.
+// Slow subscribers lose intermediate frames (their channel buffer fills;
+// telemetry must never stall the campaign) but always observe the latest
+// state on their next read and the terminal state via Done.
+func (j *Job) publish(s campaign.Snapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.last = s
+	j.hasSnap = true
+	for ch := range j.subs {
+		select {
+		case ch <- s:
+		default:
+		}
+	}
+}
+
+// Subscribe registers a progress listener and replays the latest snapshot
+// so late subscribers start current. The caller must Unsubscribe.
+func (j *Job) Subscribe() <-chan campaign.Snapshot {
+	ch := make(chan campaign.Snapshot, 16)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.subs == nil {
+		j.subs = make(map[chan campaign.Snapshot]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	if j.hasSnap {
+		ch <- j.last
+	}
+	return ch
+}
+
+// Unsubscribe removes a listener registered by Subscribe.
+func (j *Job) Unsubscribe(ch <-chan campaign.Snapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for c := range j.subs {
+		if c == ch {
+			delete(j.subs, c)
+			close(c)
+			return
+		}
+	}
+}
+
+// finish moves the job to a terminal state; later calls are no-ops.
+// Caller must not hold j.mu.
+func (j *Job) finish(state JobState, res *campaign.Result, err error, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	select {
+	case <-j.done:
+		return // already terminal
+	default:
+	}
+	j.state = state
+	if res != nil {
+		j.result = res
+	}
+	j.err = err
+	j.finished = now
+	close(j.done)
+}

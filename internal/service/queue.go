@@ -1,0 +1,87 @@
+package service
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobQueue is a blocking priority queue: Pop returns the highest-priority
+// queued job, FIFO within a priority level (by submission sequence), and
+// blocks while the queue is empty. Close wakes all waiters; a closed empty
+// queue pops nil, which is the scheduler workers' exit signal.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job. Pushing to a closed queue is a programming error
+// upstream (Submit refuses while draining) and is silently dropped rather
+// than deadlocking a worker.
+func (q *jobQueue) Push(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+}
+
+// Pop blocks until a job is available or the queue is closed; it returns
+// nil only when the queue is closed and empty.
+func (q *jobQueue) Pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.heap).(*Job)
+}
+
+// Len returns the number of queued jobs.
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// Close wakes all blocked Pops. Queued jobs may still be popped and are
+// handled by the workers' draining check.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// jobHeap orders by (priority desc, sequence asc).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].Spec.Priority != h[b].Spec.Priority {
+		return h[a].Spec.Priority > h[b].Spec.Priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

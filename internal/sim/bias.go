@@ -18,13 +18,13 @@ type Bias struct {
 	// failure's restore window (rate ∝ θ²) or on top of a latent defect
 	// (rate ∝ θ), and operational failures are genuinely rare over a
 	// mission, so the weights stay well-behaved.
-	Op float64
+	Op float64 `json:"op,omitempty"`
 	// Ld scales the renewal latent-defect (TTLd) hazard. Use cautiously:
 	// at the paper's parameters defects are not rare (≈9.5 arrivals per
 	// drive-mission), so tilting them inflates weight variance
 	// exponentially in the arrival count and usually hurts. Unsupported
 	// for the NHPP defect process (TTLdRate).
-	Ld float64
+	Ld float64 `json:"ld,omitempty"`
 }
 
 // Enabled reports whether any hazard is tilted.

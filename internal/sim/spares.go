@@ -17,8 +17,8 @@ import (
 // otherwise it starts when the earliest outstanding order arrives. The
 // sampled TTR then runs from the rebuild start.
 type SparePolicy struct {
-	Initial        int
-	ReplenishHours float64
+	Initial        int     `json:"initial"`
+	ReplenishHours float64 `json:"replenish_hours,omitempty"`
 }
 
 // Validate checks the policy.

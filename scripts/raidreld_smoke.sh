@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# raidreld_smoke.sh — end-to-end smoke test of the raidreld daemon.
+#
+# Builds raidreld, starts it on an ephemeral port, submits a small
+# campaign over HTTP, polls it to completion, fetches the result, then
+# submits the identical spec again and asserts the second submission is a
+# cache hit (served without re-simulating: the iteration counter in
+# /metrics must not move). Finishes with a graceful SIGTERM drain.
+#
+# Requires only bash + curl + the go toolchain (JSON is picked apart with
+# grep/sed so the script runs on a bare CI image).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -TERM "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/raidreld" ./cmd/raidreld
+
+echo "== start"
+"$WORK/raidreld" -addr 127.0.0.1:0 -checkpoint-dir "$WORK/ckpt" >"$WORK/out.log" &
+DAEMON_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^raidreld: listening on //p' "$WORK/out.log")"
+  [ -n "$ADDR" ] && break
+  kill -0 "$DAEMON_PID" || { echo "daemon died on startup" >&2; cat "$WORK/out.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "daemon never announced its address" >&2; exit 1; }
+BASE="http://$ADDR"
+echo "daemon at $BASE"
+
+curl -fsS "$BASE/healthz" | grep -q '"status": "ok"'
+
+SPEC='{
+  "params": {
+    "group_size": 8, "redundancy": 1, "mission_hours": 87600,
+    "tt_op": {"scale": 461386, "shape": 1.12},
+    "ttr": {"location": 6, "scale": 12, "shape": 2}
+  },
+  "seed": 7, "iterations": 5000
+}'
+
+echo "== submit"
+SUBMIT="$(curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs")"
+JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1)"
+[ -n "$JOB_ID" ] || { echo "no job id in: $SUBMIT" >&2; exit 1; }
+echo "job $JOB_ID"
+
+echo "== poll"
+STATE=""
+for _ in $(seq 1 300); do
+  STATE="$(curl -fsS "$BASE/v1/jobs/$JOB_ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)"
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "job ended $STATE" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$STATE" = done ] || { echo "job stuck in '$STATE'" >&2; exit 1; }
+
+echo "== result"
+RESULT="$(curl -fsS "$BASE/v1/jobs/$JOB_ID/result")"
+printf '%s' "$RESULT" | grep -q '"iterations": 5000' || {
+  echo "unexpected result: $RESULT" >&2; exit 1; }
+
+ITERS_BEFORE="$(curl -fsS "$BASE/metrics" | sed -n 's/.*"iterations_simulated": \([0-9]*\).*/\1/p')"
+
+echo "== resubmit (must be a cache hit)"
+AGAIN="$(curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs")"
+printf '%s' "$AGAIN" | grep -q '"cached": true' || {
+  echo "second submission was not served from cache: $AGAIN" >&2; exit 1; }
+printf '%s' "$AGAIN" | grep -q "\"id\": \"$JOB_ID\"" || {
+  echo "cache hit returned a different job: $AGAIN" >&2; exit 1; }
+
+METRICS="$(curl -fsS "$BASE/metrics")"
+ITERS_AFTER="$(printf '%s' "$METRICS" | sed -n 's/.*"iterations_simulated": \([0-9]*\).*/\1/p')"
+[ "$ITERS_BEFORE" = "$ITERS_AFTER" ] || {
+  echo "cache hit re-simulated: $ITERS_BEFORE -> $ITERS_AFTER" >&2; exit 1; }
+printf '%s' "$METRICS" | grep -q '"cache_hits": 1' || {
+  echo "cache_hits counter did not move: $METRICS" >&2; exit 1; }
+
+echo "== drain"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+grep -q "drained, all in-flight campaigns checkpointed" "$WORK/out.log" || {
+  echo "no drain confirmation:" >&2; cat "$WORK/out.log" >&2; exit 1; }
+
+echo "smoke OK"
