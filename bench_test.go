@@ -222,6 +222,50 @@ func BenchmarkEngineSequentialInto(b *testing.B) {
 	}
 }
 
+// benchRunBlock drives the batched block path the way the runner does in
+// production — one worker, whole blocks per scratch acquisition — so ns/op
+// is the amortized per-iteration cost the Monte Carlo campaign actually
+// pays (BlockEngine.SimulateInto alone would re-prep the kernels per call).
+func benchRunBlock(b *testing.B, cfg sim.Config) {
+	b.ReportAllocs()
+	res := &sim.SparseResult{}
+	if err := sim.RunCollect(sim.RunSpec{
+		Config:     cfg,
+		Iterations: b.N,
+		Seed:       1,
+		Workers:    1,
+		Engine:     sim.BlockEngine{},
+	}, res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.TotalDDFs), "ddfs")
+}
+
+// BenchmarkEngineBlockInto measures the batched structure-of-arrays engine
+// on the base case — the tentpole comparison against
+// BenchmarkEngineSequentialInto's scalar interval chronology.
+func BenchmarkEngineBlockInto(b *testing.B) {
+	benchRunBlock(b, baseSimConfig())
+}
+
+// BenchmarkEngineBlockBiasedInto measures the block engine under the θ = 8
+// importance-sampling tilt, against BenchmarkEngineSequentialBiasedInto.
+func BenchmarkEngineBlockBiasedInto(b *testing.B) {
+	cfg := baseSimConfig()
+	cfg.Bias.Op = 8
+	benchRunBlock(b, cfg)
+}
+
+// BenchmarkEngineBlockVRInto measures the block engine with the full
+// variance-reduction stack armed (antithetic pairing, stratified first
+// draw, control-variate tallies) — the per-iteration overhead the
+// statistical speedup costs.
+func BenchmarkEngineBlockVRInto(b *testing.B) {
+	cfg := baseSimConfig()
+	cfg.VR = sim.VR{Antithetic: true, Stratify: true, ControlVariate: true}
+	benchRunBlock(b, cfg)
+}
+
 // biasedSimConfig is the base case under the standard rare-event tilt:
 // the operational-failure hazard scaled by θ = 8.
 func biasedSimConfig() sim.Config {

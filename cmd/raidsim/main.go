@@ -18,12 +18,20 @@
 //	        [-max-iterations N] [-max-duration 1h] [-batch 1000]
 //	        [-checkpoint c.json] [-resume c.json] [-progress[=json]]
 //	        [-bias 4] [-bias-ld 1]
+//	        [-vr antithetic,stratify,cv] [-batch-block 256]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -bias enables importance sampling: operational-failure hazards are
 // scaled up by the factor during sampling and every estimate is
 // reweighted by the likelihood ratio, so rare DDFs are resolved with far
 // fewer iterations at unchanged expectation.
+//
+// -vr stacks block-level variance reduction on top (see DESIGN.md §12):
+// antithetic stream pairs, stratified first-failure quantiles, and/or the
+// analytic control variate ("cv"; "all" enables every technique). Any -vr
+// value, or a bare -batch-block, routes the run through the batched block
+// engine, which is bit-identical to the scalar engines when no technique
+// is enabled.
 package main
 
 import (
@@ -37,10 +45,13 @@ import (
 	"runtime/pprof"
 	"syscall"
 
+	"strings"
+
 	"raidrel/internal/campaign"
 	"raidrel/internal/core"
 	"raidrel/internal/report"
 	"raidrel/internal/scrub"
+	"raidrel/internal/sim"
 )
 
 func main() {
@@ -82,6 +93,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.Var(&progress, "progress", "adaptive: stream per-batch telemetry to stderr; -progress means text, -progress=json emits one JSON object per batch")
 	bias := fs.Float64("bias", 0, "importance sampling: operational-failure hazard scale factor (0 or 1 = off)")
 	biasLd := fs.Float64("bias-ld", 0, "importance sampling: latent-defect hazard scale factor (0 or 1 = off; rarely useful, see DESIGN.md)")
+	vrFlag := fs.String("vr", "", "variance reduction: comma list of antithetic, stratify, cv — or all (empty = off)")
+	batchBlock := fs.Int("batch-block", 0, "block engine batch length / VR block size (0 = default; setting it routes through the block engine)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -139,6 +152,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	p.Bias.Op = *bias
 	p.Bias.Ld = *biasLd
+	vr, err := parseVR(*vrFlag)
+	if err != nil {
+		return err
+	}
+	if *batchBlock < 0 {
+		return fmt.Errorf("-batch-block %d negative", *batchBlock)
+	}
+	vr.BlockSize = *batchBlock
+	p.VR = vr
 	if *trace {
 		return renderTrace(out, p, *seed)
 	}
@@ -211,6 +233,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			fmt.Fprintf(out, "               importance sampling: effective sample size %.1f of %d event groups\n",
 				camp.ESS, camp.GroupsWithDDF)
 		}
+		if camp.VRFactor > 0 {
+			fmt.Fprintf(out, "               variance reduction: %.2fx fewer iterations to equal precision (%d antithetic pairs, control coeff %.3g)\n",
+				camp.VRFactor, camp.VRPairs, camp.VRCoeff)
+		}
 	}
 	cmp, err := m.CompareWithMTTDL(res, *mission)
 	if err != nil {
@@ -219,6 +245,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "MTTDL view:    %.4g DDFs per 1000 groups (MTTDL %.0f years) -> model/MTTDL ratio %.1f\n",
 		cmp.MTTDL, cmp.MTTDLYears, cmp.Ratio)
 	return nil
+}
+
+// parseVR decodes the -vr flag: a comma-separated list of variance-
+// reduction techniques, or "all" for the full stack.
+func parseVR(s string) (sim.VR, error) {
+	var v sim.VR
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "":
+		case "antithetic":
+			v.Antithetic = true
+		case "stratify":
+			v.Stratify = true
+		case "cv", "control-variate":
+			v.ControlVariate = true
+		case "all":
+			v.Antithetic, v.Stratify, v.ControlVariate = true, true, true
+		default:
+			return sim.VR{}, fmt.Errorf("-vr: unknown technique %q (want antithetic, stratify, cv, or all)", strings.TrimSpace(tok))
+		}
+	}
+	return v, nil
 }
 
 // progressMode is the -progress flag: a boolean flag (bare -progress

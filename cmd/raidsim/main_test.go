@@ -319,3 +319,44 @@ func captureStderrErr(f func() error) error {
 	defer func() { os.Stderr = orig; w.Close(); r.Close() }()
 	return f()
 }
+
+func TestRunVRCampaign(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(), []string{
+		"-bias", "8", "-vr", "all", "-batch-block", "128",
+		"-max-iterations", "2048", "-batch", "512", "-seed", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mission total", "variance reduction:", "antithetic pairs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVRFixedSize(t *testing.T) {
+	// A fixed-size run with -vr routes through the block engine without the
+	// campaign orchestrator; the summary must still print.
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-vr", "antithetic", "-iterations", "512"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mission total") {
+		t.Errorf("output missing summary:\n%s", sb.String())
+	}
+}
+
+func TestRunVRValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-vr", "bogus"},
+		{"-batch-block", "-1"},
+		{"-vr", "antithetic", "-batch-block", "3"}, // antithetic needs an even block
+	} {
+		if err := run(context.Background(), args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -99,6 +99,23 @@ func (s Spec) withDefaults() Spec {
 	if s.BatchSize == 0 {
 		s.BatchSize = DefaultBatchSize
 	}
+	if s.Config.VR.Enabled() {
+		// Variance reduction acts within blocks of consecutive iterations, so
+		// every batch must cover whole blocks: round the batch size and any
+		// iteration budget up to block multiples, and default the engine to
+		// the block engine VR requires. A split block would stratify over a
+		// partial quantile range and bias its block mean.
+		if s.Engine == nil {
+			s.Engine = sim.BlockEngine{}
+		}
+		bs := s.Config.VR.EffectiveBlock()
+		if bs > 0 {
+			s.BatchSize = roundUp(s.BatchSize, bs)
+			if s.MaxIterations > 0 {
+				s.MaxIterations = roundUp(s.MaxIterations, bs)
+			}
+		}
+	}
 	if s.MinIterations == 0 {
 		s.MinIterations = s.BatchSize
 	}
@@ -141,7 +158,23 @@ func (s Spec) validate() error {
 	if s.TargetRelErr == 0 && s.MaxIterations == 0 && s.MaxDuration == 0 {
 		return fmt.Errorf("campaign: no stopping rule (set TargetRelErr, MaxIterations, or MaxDuration)")
 	}
+	if s.Config.VR.Enabled() {
+		if _, ok := s.Engine.(sim.BlockEngine); !ok {
+			return fmt.Errorf("campaign: variance reduction requires sim.BlockEngine, got %T", s.Engine)
+		}
+		if bs := s.Config.VR.EffectiveBlock(); s.Offset%bs != 0 {
+			return fmt.Errorf("campaign: stream offset %d is not a multiple of the VR block size %d (shards must start on block boundaries)", s.Offset, bs)
+		}
+	}
 	return nil
+}
+
+// roundUp rounds n up to the next multiple of m.
+func roundUp(n, m int) int {
+	if r := n % m; r != 0 {
+		return n + m - r
+	}
+	return n
 }
 
 // Validate reports whether the spec (after defaulting) could run — the
@@ -222,6 +255,17 @@ type Result struct {
 	// statistical information. Zero for unbiased campaigns (where every
 	// weight is 1 and ESS would equal GroupsWithDDF).
 	ESS float64
+	// VRPairs is the number of completed antithetic pairs; zero when
+	// variance reduction (or antithetic pairing) is off.
+	VRPairs int
+	// VRCoeff is the fitted control-variate coefficient ĉ; zero when the
+	// control variate is off or the control has no sample variance yet.
+	VRCoeff float64
+	// VRFactor is the variance-reduction factor: the naive per-iteration
+	// estimator's variance divided by the achieved block-mean estimator's
+	// variance, ≈ how many plain iterations one VR iteration is worth.
+	// Zero until measurable.
+	VRFactor float64
 	// Reason records which stopping rule fired.
 	Reason StopReason
 	// Elapsed is this process's wall-clock time in the campaign loop.
@@ -327,14 +371,24 @@ func assemble(spec Spec, run *sim.SparseResult, done, batches, resumedFrom int, 
 	res.RelErr = math.Inf(1)
 	if done > 0 {
 		res.GroupsWithDDF = run.GroupsWithDDF()
+		var ws []float64
 		if spec.Config.Bias.Enabled() {
+			// ESS stays the weight-degeneracy diagnostic of any
+			// importance-sampled campaign, whichever interval stops it.
+			ws = run.GroupWeights()
+			res.ESS = stats.ESS(ws)
+		}
+		switch {
+		case spec.Config.VR.Enabled() && run.VR != nil && len(run.VR.Blocks) >= 2:
+			// Variance-reduced campaign: blocks are iid by construction, so
+			// the stopping interval is a normal interval over block means —
+			// control-variate adjusted when that technique is on.
+			assembleVR(spec, run.VR, res)
+		case spec.Config.Bias.Enabled():
 			// Importance-sampled campaign: the observations are the
 			// likelihood-ratio weights of event groups (implied zeros
 			// elsewhere), not 0/1 indicators, so Wilson does not apply.
-			// Stop on the weighted-normal interval instead and expose ESS
-			// as the weight-degeneracy diagnostic.
-			ws := run.GroupWeights()
-			res.ESS = stats.ESS(ws)
+			// Stop on the weighted-normal interval instead.
 			ci, err := stats.WeightedBernoulliCI(ws, done, spec.Confidence)
 			if err == nil {
 				res.CI = ci
@@ -342,7 +396,7 @@ func assemble(spec Spec, run *sim.SparseResult, done, batches, resumedFrom int, 
 					res.RelErr = ci.RelativeHalfWidth()
 				}
 			}
-		} else {
+		default:
 			ci, err := stats.WilsonCI(res.GroupsWithDDF, done, spec.Confidence)
 			if err == nil {
 				res.CI = ci
@@ -357,4 +411,50 @@ func assemble(spec Spec, run *sim.SparseResult, done, batches, resumedFrom int, 
 		}
 	}
 	return res
+}
+
+// assembleVR fills res.CI, res.RelErr, and the VR diagnostics from the
+// run's block tallies. Each block contributes one mean observation; with
+// the control variate on, the interval is the control-adjusted one around
+// ȳ - ĉ·(z̄ - EZ).
+func assembleVR(spec Spec, vr *sim.VRTally, res *Result) {
+	ys := make([]float64, len(vr.Blocks))
+	zs := make([]float64, len(vr.Blocks))
+	var sumY, sumY2 float64
+	n := 0
+	for i, b := range vr.Blocks {
+		ys[i] = b.Y / float64(b.N)
+		zs[i] = b.Z / float64(b.N)
+		sumY += b.Y
+		sumY2 += b.Y2
+		n += b.N
+	}
+	var ci stats.Interval
+	var err error
+	if spec.Config.VR.ControlVariate {
+		ci, res.VRCoeff, err = stats.ControlVariateCI(ys, zs, vr.EZ, spec.Confidence)
+	} else {
+		ci, err = stats.NormalMeanCI(ys, spec.Confidence)
+	}
+	if err != nil {
+		return
+	}
+	res.VRPairs = vr.Pairs()
+	res.RelErr = ci.RelativeHalfWidth()
+	half := (ci.Hi - ci.Lo) / 2
+	// VRFactor compares the naive per-iteration estimator's standard error
+	// (from the unblocked sums Σy, Σy²) against the achieved half-width.
+	if n > 1 && half > 0 {
+		mean := sumY / float64(n)
+		if v1 := sumY2/float64(n) - mean*mean; v1 > 0 {
+			naiveHalf := stats.ZScore(ci.Level) * math.Sqrt(v1/float64(n))
+			res.VRFactor = (naiveHalf / half) * (naiveHalf / half)
+		}
+	}
+	// The normal interval over block means can cross zero; the estimand is
+	// a probability, so clamp for display after the relative-error math.
+	if ci.Lo < 0 {
+		ci.Lo = 0
+	}
+	res.CI = ci
 }

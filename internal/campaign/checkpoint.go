@@ -39,6 +39,19 @@ type checkpointFile struct {
 	Batches    int `json:"batches"`
 	// Events lists every DDF observed so far, in (group, time) order.
 	Events []checkpointEvent `json:"events"`
+	// VR holds the block-level variance-reduction tallies of a VR campaign.
+	// Omitted (and absent from the digest surface) for plain campaigns, so
+	// pre-VR checkpoints and readers are unaffected.
+	VR *checkpointVR `json:"vr,omitempty"`
+}
+
+// checkpointVR serializes sim.VRTally: the analytic control expectation
+// plus every completed block's sums, verbatim. Restoring them verbatim is
+// what makes a resumed VR campaign's estimator bit-exact.
+type checkpointVR struct {
+	BlockSize int           `json:"block_size"`
+	EZ        float64       `json:"ez"`
+	Blocks    []sim.VRBlock `json:"blocks"`
 }
 
 // engineName names the effective engine for fingerprinting.
@@ -77,6 +90,13 @@ func (s Spec) Fingerprint() string {
 		// inconsistent.
 		fmt.Fprintf(h, "bias=%v;", cfg.Bias)
 	}
+	if cfg.VR.Enabled() {
+		// Included only when variance reduction is on, mirroring the bias
+		// component: legacy fingerprints stay stable, and a VR campaign can
+		// only resume a checkpoint with the identical technique stack and
+		// block size — the block tallies would otherwise be incompatible.
+		fmt.Fprintf(h, "vr=%v;", cfg.VR)
+	}
 	if s.Offset != 0 {
 		// Included only for shard campaigns, so every pre-sharding
 		// fingerprint (and checkpoint) stays valid, while shard i's
@@ -103,6 +123,9 @@ func saveCheckpoint(path string, spec Spec, run *sim.SparseResult, batches int) 
 	}
 	for _, e := range run.Events {
 		doc.Events = append(doc.Events, checkpointEvent{Group: e.Group, Time: e.Time, Cause: int(e.Cause), LogW: e.LogW})
+	}
+	if run.VR != nil {
+		doc.VR = &checkpointVR{BlockSize: run.VR.BlockSize, EZ: run.VR.EZ, Blocks: run.VR.Blocks}
 	}
 	data, err := json.Marshal(doc)
 	if err != nil {
@@ -199,6 +222,36 @@ func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
 			}
 		}
 		run.Events = append(run.Events, sim.GroupEvent{Group: e.Group, LogW: e.LogW, DDF: sim.DDF{Time: e.Time, Cause: c}})
+	}
+	if spec.Config.VR.Enabled() && doc.VR == nil && doc.NextStream > 0 {
+		return nil, 0, fmt.Errorf("variance-reduced campaign, but the checkpoint carries no VR tallies")
+	}
+	if doc.VR != nil {
+		if doc.VR.BlockSize <= 0 {
+			return nil, 0, fmt.Errorf("vr: block size %d not positive", doc.VR.BlockSize)
+		}
+		if math.IsNaN(doc.VR.EZ) || doc.VR.EZ < 0 || doc.VR.EZ > 1 {
+			return nil, 0, fmt.Errorf("vr: control expectation %v outside [0, 1]", doc.VR.EZ)
+		}
+		total := 0
+		for i, b := range doc.VR.Blocks {
+			if b.N <= 0 || b.N > doc.VR.BlockSize {
+				return nil, 0, fmt.Errorf("vr block %d: %d iterations outside (0, %d]", i, b.N, doc.VR.BlockSize)
+			}
+			if b.P < 0 || 2*b.P > b.N {
+				return nil, 0, fmt.Errorf("vr block %d: %d pairs inconsistent with %d iterations", i, b.P, b.N)
+			}
+			for _, v := range [...]float64{b.Y, b.Z, b.Y2, b.C} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, 0, fmt.Errorf("vr block %d: non-finite tally", i)
+				}
+			}
+			total += b.N
+		}
+		if total != doc.NextStream {
+			return nil, 0, fmt.Errorf("vr blocks cover %d iterations, checkpoint has %d", total, doc.NextStream)
+		}
+		run.VR = &sim.VRTally{BlockSize: doc.VR.BlockSize, EZ: doc.VR.EZ, Blocks: doc.VR.Blocks}
 	}
 	run.Tally()
 	return run, doc.Batches, nil

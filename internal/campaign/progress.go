@@ -30,6 +30,13 @@ type Snapshot struct {
 	// ESS is the effective sample size of the importance weights; zero for
 	// unbiased campaigns.
 	ESS float64
+	// VRPairs, VRCoeff, VRFactor mirror the Result diagnostics of a
+	// variance-reduced campaign: completed antithetic pairs, the fitted
+	// control-variate coefficient, and the estimated variance-reduction
+	// factor. All zero when VR is off.
+	VRPairs  int
+	VRCoeff  float64
+	VRFactor float64
 	// Rate is iterations per second in this process (0 until measurable).
 	Rate float64
 	// Elapsed is wall-clock time in this process's campaign loop.
@@ -59,6 +66,9 @@ type snapshotJSON struct {
 	Confidence    float64  `json:"confidence,omitempty"`
 	RelErr        *float64 `json:"rel_err,omitempty"`
 	ESS           float64  `json:"ess,omitempty"`
+	VRPairs       int      `json:"vr_pairs,omitempty"`
+	VRCoeff       float64  `json:"vr_coeff,omitempty"`
+	VRFactor      float64  `json:"vr_factor,omitempty"`
 	Rate          float64  `json:"rate,omitempty"`
 	ElapsedS      float64  `json:"elapsed_s"`
 	ETAS          *float64 `json:"eta_s,omitempty"`
@@ -80,6 +90,9 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		CIHi:          s.CI.Hi,
 		Confidence:    s.CI.Level,
 		ESS:           s.ESS,
+		VRPairs:       s.VRPairs,
+		VRCoeff:       s.VRCoeff,
+		VRFactor:      s.VRFactor,
 		Rate:          s.Rate,
 		ElapsedS:      s.Elapsed.Seconds(),
 		Done:          s.Done,
@@ -116,6 +129,9 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 		CI:            stats.Interval{Lo: doc.CILo, Hi: doc.CIHi, Level: doc.Confidence},
 		RelErr:        math.Inf(1),
 		ESS:           doc.ESS,
+		VRPairs:       doc.VRPairs,
+		VRCoeff:       doc.VRCoeff,
+		VRFactor:      doc.VRFactor,
 		Rate:          doc.Rate,
 		Elapsed:       time.Duration(doc.ElapsedS * float64(time.Second)),
 		ETA:           -1,
@@ -170,6 +186,9 @@ func report(spec Spec, res *Result, start time.Time, done bool) {
 		CI:            res.CI,
 		RelErr:        res.RelErr,
 		ESS:           res.ESS,
+		VRPairs:       res.VRPairs,
+		VRCoeff:       res.VRCoeff,
+		VRFactor:      res.VRFactor,
 		Elapsed:       res.Elapsed,
 		ETA:           -1,
 		Done:          done,
@@ -237,12 +256,12 @@ func WriterProgress(w io.Writer) Progress {
 			fmt.Fprintf(w, "campaign: done (%s): %d iterations in %d batches, %s: %d DDFs (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s%s\n",
 				s.Reason, s.Iterations, s.Batches, s.Elapsed.Round(time.Millisecond),
 				s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs,
-				phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s))
+				phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s)+vrString(s))
 			return
 		}
 		fmt.Fprintf(w, "campaign: %d iters (%.0f/s) ddf=%d (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s%s eta=%s\n",
 			s.Iterations, s.Rate, s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs,
-			phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s), etaString(s.ETA))
+			phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s)+vrString(s), etaString(s.ETA))
 	})
 }
 
@@ -262,15 +281,23 @@ func JSONProgress(w io.Writer) Progress {
 }
 
 func phat(s Snapshot) float64 {
-	if s.ESS > 0 {
-		// Importance-sampled campaign: the point estimate is the weighted
-		// mean, the midpoint of the (symmetric) weighted-normal CI.
+	if s.ESS > 0 || s.VRFactor > 0 {
+		// Importance-sampled or variance-reduced campaign: the point
+		// estimate is the (adjusted) mean, the midpoint of the symmetric
+		// normal CI, not the raw event fraction.
 		return (s.CI.Lo + s.CI.Hi) / 2
 	}
 	if s.Iterations == 0 {
 		return 0
 	}
 	return float64(s.GroupsWithDDF) / float64(s.Iterations)
+}
+
+func vrString(s Snapshot) string {
+	if s.VRFactor > 0 {
+		return fmt.Sprintf(" vr=%.2gx", s.VRFactor)
+	}
+	return ""
 }
 
 func essString(s Snapshot) string {

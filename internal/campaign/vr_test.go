@@ -1,0 +1,376 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/sim"
+)
+
+// vrSpec returns a fastConfig campaign with the full variance-reduction
+// stack on a small block, sized so tests cross several batches quickly.
+func vrSpec() Spec {
+	cfg := fastConfig()
+	cfg.VR = sim.VR{Antithetic: true, Stratify: true, ControlVariate: true, BlockSize: 64}
+	return Spec{
+		Config:    cfg,
+		Seed:      77,
+		BatchSize: 512,
+	}
+}
+
+// TestVRKillResumeEqualsUninterrupted extends the subsystem's core
+// guarantee to variance-reduced campaigns: the restored block tallies must
+// continue bit-for-bit, so the resumed campaign's estimator, CI, and VR
+// diagnostics all match the uninterrupted run exactly.
+func TestVRKillResumeEqualsUninterrupted(t *testing.T) {
+	spec := vrSpec()
+	spec.TargetRelErr = 0.15
+
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Reason != StopTarget {
+		t.Fatalf("reference campaign stopped for %v, want target", want.Reason)
+	}
+	if want.Run.VR == nil || len(want.Run.VR.Blocks) < 4 {
+		t.Fatal("reference campaign accumulated no VR blocks; test is vacuous")
+	}
+
+	path := filepath.Join(t.TempDir(), "c.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := spec
+	killed.Checkpoint = path
+	batches := 0
+	killed.Progress = ProgressFunc(func(s Snapshot) {
+		if !s.Done {
+			batches++
+			if batches == 2 {
+				cancel()
+			}
+		}
+	})
+	part, err := Run(ctx, killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Reason != StopCancelled || part.Iterations >= want.Iterations {
+		t.Fatalf("kill point %d (%v) not partway through reference %d", part.Iterations, part.Reason, want.Iterations)
+	}
+
+	resumed := spec
+	resumed.Resume = path
+	got, err := Run(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != want.Reason || got.Iterations != want.Iterations {
+		t.Fatalf("resumed campaign (%v after %d) differs from uninterrupted (%v after %d)",
+			got.Reason, got.Iterations, want.Reason, want.Iterations)
+	}
+	if !reflect.DeepEqual(got.Run.Events, want.Run.Events) {
+		t.Error("event streams differ bit-for-bit")
+	}
+	if !reflect.DeepEqual(got.Run.VR, want.Run.VR) {
+		t.Errorf("VR tallies differ:\nresumed      %+v\nuninterrupted %+v", got.Run.VR, want.Run.VR)
+	}
+	if got.CI != want.CI || got.RelErr != want.RelErr {
+		t.Errorf("CI differs: resumed %+v relerr=%v vs uninterrupted %+v relerr=%v",
+			got.CI, got.RelErr, want.CI, want.RelErr)
+	}
+	if got.VRPairs != want.VRPairs || got.VRCoeff != want.VRCoeff || got.VRFactor != want.VRFactor {
+		t.Errorf("VR diagnostics differ: resumed (%d, %v, %v) vs uninterrupted (%d, %v, %v)",
+			got.VRPairs, got.VRCoeff, got.VRFactor, want.VRPairs, want.VRCoeff, want.VRFactor)
+	}
+}
+
+// TestVRCampaignEstimator sanity-checks the block-mean estimator against
+// the plain Wilson campaign on the same configuration: the variance-reduced
+// point estimate must land near the plain estimate, the antithetic pair
+// count must cover half the iterations, and the reported reduction factor
+// must be positive.
+func TestVRCampaignEstimator(t *testing.T) {
+	plain, err := Run(context.Background(), Spec{
+		Config: fastConfig(), Seed: 5, BatchSize: 4096, MaxIterations: 16384,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRef := float64(plain.GroupsWithDDF) / float64(plain.Iterations)
+
+	spec := vrSpec()
+	spec.Seed = 5
+	spec.MaxIterations = 16384
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 16384 {
+		t.Fatalf("VR campaign ran %d iterations, want 16384", res.Iterations)
+	}
+	if res.VRPairs != res.Iterations/2 {
+		t.Errorf("VRPairs = %d, want %d", res.VRPairs, res.Iterations/2)
+	}
+	if res.VRFactor <= 0 {
+		t.Errorf("VRFactor = %v, want > 0", res.VRFactor)
+	}
+	center := (res.CI.Lo + res.CI.Hi) / 2
+	// Both estimates carry O(1/sqrt(n)) noise; 5 combined standard errors is a
+	// generous agreement band that still catches a broken estimator.
+	se := 5 * math.Sqrt(pRef*(1-pRef)/float64(res.Iterations)) * 2
+	if math.Abs(center-pRef) > se {
+		t.Errorf("VR estimate %v far from plain estimate %v (band %v)", center, pRef, se)
+	}
+	if res.CI.Lo < 0 {
+		t.Errorf("CI lower bound %v negative after clamping", res.CI.Lo)
+	}
+}
+
+// TestVRSpecAlignment: batch sizes and iteration budgets are rounded up to
+// whole VR blocks, the engine defaults to the block engine, and misaligned
+// shard offsets or non-block engines are rejected outright.
+func TestVRSpecAlignment(t *testing.T) {
+	spec := vrSpec()
+	spec.BatchSize = 100 // not a multiple of 64
+	spec.MaxIterations = 70
+	d := spec.withDefaults()
+	if d.BatchSize != 128 {
+		t.Errorf("BatchSize defaulted to %d, want 128", d.BatchSize)
+	}
+	if d.MaxIterations != 128 {
+		t.Errorf("MaxIterations defaulted to %d, want 128", d.MaxIterations)
+	}
+	if _, ok := d.Engine.(sim.BlockEngine); !ok {
+		t.Errorf("engine defaulted to %T, want sim.BlockEngine", d.Engine)
+	}
+
+	offset := vrSpec()
+	offset.MaxIterations = 128
+	offset.Offset = 96 // not a multiple of 64
+	if err := offset.Validate(); err == nil {
+		t.Error("misaligned VR shard offset accepted")
+	}
+	offset.Offset = 128
+	if err := offset.Validate(); err != nil {
+		t.Errorf("aligned VR shard offset rejected: %v", err)
+	}
+
+	wrongEngine := vrSpec()
+	wrongEngine.MaxIterations = 128
+	wrongEngine.Engine = sim.IntervalEngine{}
+	if err := wrongEngine.Validate(); err == nil {
+		t.Error("VR with a non-block engine accepted")
+	}
+}
+
+// TestVRFingerprint: enabling VR must change the campaign identity (the
+// block tallies are incompatible), while a zero VR value must reproduce the
+// legacy digest so existing checkpoints stay resumable.
+func TestVRFingerprint(t *testing.T) {
+	base := Spec{Config: fastConfig(), Seed: 1}
+	fp := base.Fingerprint()
+
+	zero := base
+	zero.Config.VR = sim.VR{}
+	if zero.Fingerprint() != fp {
+		t.Error("zero VR value perturbed the fingerprint (legacy checkpoints orphaned)")
+	}
+	// A bare block size without any technique is scheduling, not identity.
+	sched := base
+	sched.Config.VR = sim.VR{BlockSize: 128}
+	if sched.Fingerprint() != fp {
+		t.Error("bare VR block size perturbed the fingerprint")
+	}
+
+	vr := base
+	vr.Config.VR = sim.VR{Antithetic: true}
+	if vr.Fingerprint() == fp {
+		t.Error("enabling VR did not change the fingerprint")
+	}
+	other := base
+	other.Config.VR = sim.VR{Antithetic: true, BlockSize: 128}
+	if other.Fingerprint() == vr.Fingerprint() {
+		t.Error("VR block size change did not change the fingerprint")
+	}
+}
+
+// TestVRCheckpointValidation: the loader must reject tampered VR tallies —
+// wrong iteration coverage, impossible block sizes, or a VR campaign whose
+// checkpoint lost its tallies entirely.
+func TestVRCheckpointValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	spec := vrSpec()
+	spec.MaxIterations = 512
+	spec.Checkpoint = path
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, _, err := loadCheckpoint(path, spec.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.VR, res.Run.VR) {
+		t.Error("restored VR tallies differ from the live campaign's")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc checkpointFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func(*checkpointFile)) {
+		c := doc
+		c.VR = &checkpointVR{BlockSize: doc.VR.BlockSize, EZ: doc.VR.EZ, Blocks: append([]sim.VRBlock(nil), doc.VR.Blocks...)}
+		mutate(&c)
+		raw, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := decodeCheckpoint(raw, spec.withDefaults()); err == nil {
+			t.Errorf("%s: corrupted checkpoint accepted", name)
+		}
+	}
+	corrupt("missing tallies", func(c *checkpointFile) { c.VR = nil })
+	corrupt("short coverage", func(c *checkpointFile) { c.VR.Blocks = c.VR.Blocks[:len(c.VR.Blocks)-1] })
+	corrupt("bad block size", func(c *checkpointFile) { c.VR.BlockSize = 0 })
+	corrupt("oversized block", func(c *checkpointFile) { c.VR.Blocks[0].N += c.VR.BlockSize; c.VR.Blocks[1].N -= c.VR.BlockSize })
+	corrupt("impossible pairs", func(c *checkpointFile) { c.VR.Blocks[0].P = c.VR.Blocks[0].N })
+	corrupt("bad expectation", func(c *checkpointFile) { c.VR.EZ = 1.5 })
+}
+
+// TestSnapshotVRJSONRoundTrip: the VR diagnostics must survive the wire
+// form, since raidreld streams Snapshots to clients as SSE frames.
+func TestSnapshotVRJSONRoundTrip(t *testing.T) {
+	s := Snapshot{
+		Iterations:    4096,
+		Batches:       4,
+		GroupsWithDDF: 120,
+		RelErr:        0.21,
+		VRPairs:       2048,
+		VRCoeff:       0.83,
+		VRFactor:      3.7,
+		ETA:           -1,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Errorf("round trip changed the snapshot:\n got %+v\nwant %+v", back, s)
+	}
+
+	// VR-off snapshots must not emit the VR keys at all.
+	off, err := json.Marshal(Snapshot{Iterations: 10, RelErr: math.Inf(1), ETA: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"vr_pairs", "vr_coeff", "vr_factor"} {
+		if jsonHasKey(off, key) {
+			t.Errorf("VR-off snapshot emitted %q: %s", key, off)
+		}
+	}
+}
+
+func jsonHasKey(data []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// noScrubBaseConfig is the paper's no-scrub base case (the Table 3
+// baseline row / Fig. 7 upper curve): the full Weibull parameterization
+// with latent defects but scrubbing disabled. With defects never cleared,
+// the control variate — 1{any first-generation operational failure within
+// the mission} — predicts the DDF indicator almost perfectly, which is the
+// regime the stacked estimator is built for.
+func noScrubBaseConfig() sim.Config {
+	return sim.Config{
+		Drives:     8,
+		Redundancy: 1,
+		Mission:    87600,
+		Trans: sim.Transitions{
+			TTOp: dist.MustWeibull(1.12, 461386, 0),
+			TTR:  dist.MustWeibull(2, 12, 6),
+			TTLd: dist.MustWeibull(1, 9259, 0),
+		},
+	}
+}
+
+// TestVREfficiencyFigure measures the headline statistical claim backing
+// the BENCH_sim.json "variance_reduction" entry and gated by
+// scripts/benchgate.sh: on the paper's no-scrub base case the stacked
+// antithetic/stratified/control-variate estimator must reach the same
+// relative-CI target with at least 2× fewer iterations than the plain
+// Wilson campaign, while agreeing with it. (Measured headroom is ~8× at
+// the iteration granularity below; the per-block variance-reduction
+// factor itself is ~60×.)
+func TestVREfficiencyFigure(t *testing.T) {
+	const target = 0.01
+	cfg := noScrubBaseConfig()
+
+	plain, err := Run(context.Background(), Spec{
+		Config:       cfg,
+		Seed:         7,
+		BatchSize:    512,
+		TargetRelErr: target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Reason != StopTarget {
+		t.Fatalf("plain campaign stopped for %v, want target", plain.Reason)
+	}
+
+	vrCfg := cfg
+	vrCfg.VR = sim.VR{Antithetic: true, Stratify: true, ControlVariate: true}
+	vr, err := Run(context.Background(), Spec{
+		Config:        vrCfg,
+		Seed:          7,
+		BatchSize:     512,
+		MinIterations: 2048, // ≥ 8 blocks before the block-mean CI may stop
+		TargetRelErr:  target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Reason != StopTarget {
+		t.Fatalf("VR campaign stopped for %v, want target", vr.Reason)
+	}
+
+	// Agreement at the same level: overlapping 95% intervals.
+	if vr.CI.Lo > plain.CI.Hi || plain.CI.Lo > vr.CI.Hi {
+		t.Errorf("estimates disagree: VR CI [%g, %g] vs plain [%g, %g]",
+			vr.CI.Lo, vr.CI.Hi, plain.CI.Lo, plain.CI.Hi)
+	}
+
+	speedup := float64(plain.Iterations) / float64(vr.Iterations)
+	t.Logf("±%.0f%%: plain %d iterations, VR stack %d (%.1f×); plain CI [%g, %g], VR [%g, %g] vrfactor=%.2f coeff=%.3f",
+		target*100, plain.Iterations, vr.Iterations, speedup,
+		plain.CI.Lo, plain.CI.Hi, vr.CI.Lo, vr.CI.Hi, vr.VRFactor, vr.VRCoeff)
+	if speedup < 2 {
+		t.Errorf("VR campaign took %d iterations vs %d plain — %.1f×, want >= 2×",
+			vr.Iterations, plain.Iterations, speedup)
+	}
+	if vr.VRFactor < 2 {
+		t.Errorf("variance-reduction factor %.2f, want >= 2", vr.VRFactor)
+	}
+}

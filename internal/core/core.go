@@ -77,6 +77,13 @@ type Params struct {
 	// expectation. The zero value is plain Monte Carlo.
 	Bias sim.Bias `json:"bias"`
 
+	// VR optionally stacks block-level variance reduction (antithetic
+	// stream pairs, stratified first-failure quantiles, analytic control
+	// variate) on top of plain or importance-sampled simulation. Any
+	// enabled technique routes the run through the batched block engine;
+	// the zero value changes nothing.
+	VR sim.VR `json:"vr"`
+
 	// ExponentialOp forces a constant-rate TTOp with the same mean as the
 	// Weibull spec (the paper's "c-" variants in Fig. 6).
 	ExponentialOp bool `json:"exponential_op,omitempty"`
@@ -202,6 +209,7 @@ func (p Params) simConfig() (sim.Config, error) {
 		Trans:      trans,
 		Spares:     p.Spares,
 		Bias:       p.Bias,
+		VR:         p.VR,
 	}
 	if len(p.SlotTTOp) > 0 {
 		if len(p.SlotTTOp) != p.GroupSize {
@@ -264,6 +272,16 @@ func (m *Model) Params() Params { return m.params }
 // sim.SimulateTraced or swapping in custom engines.
 func (m *Model) SimConfig() sim.Config { return m.cfg }
 
+// engine returns the engine the model's configuration calls for: the
+// batched block engine whenever variance reduction (or an explicit block
+// size) is requested, otherwise nil for the runner's default.
+func (m *Model) engine() sim.Engine {
+	if m.cfg.VR.Enabled() || m.cfg.VR.BlockSize > 0 {
+		return sim.BlockEngine{}
+	}
+	return nil
+}
+
 // Run simulates the given number of independent RAID groups with the given
 // seed and returns the aggregated result. Iterations is the paper's "RAID
 // groups monitored": 1,000 groups × 10 years in the headline numbers.
@@ -272,6 +290,7 @@ func (m *Model) Run(iterations int, seed uint64) (*Result, error) {
 		Config:     m.cfg,
 		Iterations: iterations,
 		Seed:       seed,
+		Engine:     m.engine(),
 	})
 	if err != nil {
 		return nil, err
@@ -343,6 +362,7 @@ func (m *Model) RunAdaptive(ctx context.Context, seed uint64, opts AdaptiveOptio
 		Config:        m.cfg,
 		Seed:          seed,
 		Workers:       opts.Workers,
+		Engine:        m.engine(),
 		BatchSize:     opts.BatchSize,
 		MinIterations: opts.MinIterations,
 		TargetRelErr:  opts.TargetRelErr,

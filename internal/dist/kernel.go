@@ -149,6 +149,146 @@ func (k *Kernel) Fill(dst []float64, r *rng.RNG) {
 	}
 }
 
+// Compiled reports whether the kernel has a specialized (non-generic) draw
+// routine — i.e. whether FromExp and the hazard-domain helpers below are
+// available. Weibull and Exponential distributions always compile.
+func (k *Kernel) Compiled() bool { return k.kind != kindGeneric }
+
+// FromExp maps a unit-exponential variate e to the kernel's variate,
+// bit-identical to what Draw computes from the same e: batch consumers
+// pre-fill exponential columns with rng.Uint64s and transform through
+// FromExp, reproducing Draw's stream exactly. Panics on a generic kernel
+// (no closed-form transform); guard with Compiled.
+func (k *Kernel) FromExp(e float64) float64 {
+	switch k.kind {
+	case kindGeneric:
+		panic("dist: FromExp on a generic kernel")
+	case kindExponential:
+		return e / k.scale
+	default:
+		return weibullICDFExp(k.kind, k.loc, k.scale, k.invShape, e)
+	}
+}
+
+// CumHazard returns the base distribution's cumulative hazard H(t) — the
+// exported form of cumHazard, bit-identical to CumHazardOf(Distribution(), t).
+// Because Draw is exactly the inverse map e ↦ H⁻¹(e), H(x) is the
+// exponential-domain image of a threshold x: Draw(e) > x ⟺ e > H(x) in
+// exact arithmetic, which is what the block engine's lazy transforms
+// compare against.
+func (k *Kernel) CumHazard(t float64) float64 { return k.cumHazard(t) }
+
+// Guard bands for the certain hazard-domain comparisons: wide enough to
+// absorb every rounding step on both sides of the predicate (the surrogate
+// hazard's few ulps, the draw transform's few ulps, and the caller's
+// boundary arithmetic), narrow enough that the exact fallback fires with
+// probability ~1e-6. See CompareExp for the margin analysis.
+const (
+	hazardRelBand = 1e-6
+	hazardAbsBand = 1e-6
+	// hazardHuge caps the banded comparison: beyond it the relative margin
+	// arguments thin out, so only a factor-two separation is ruled certain.
+	hazardHuge = 1e8
+)
+
+// CompareHazard reports how a unit-exponential variate e compares to a
+// cumulative-hazard threshold h when the verdict is certain despite
+// floating-point rounding on either side: +1 (e surely above), -1 (surely
+// below), or 0 inside the guard band, where the caller must fall back to
+// the exact transform-and-compare. Both e and h may carry a few ulps of
+// rounding from their own computation.
+func CompareHazard(e, h float64) int {
+	if h > hazardHuge {
+		switch {
+		case e > 2*h:
+			return 1
+		case e < h/2:
+			return -1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case e > h*(1+hazardRelBand)+hazardAbsBand:
+		return 1
+	case e < h*(1-hazardRelBand)-hazardAbsBand:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// CompareExp reports how the variate FromExp(e) compares to x when that is
+// certain despite rounding: +1 (FromExp(e) > x surely), -1 (< x surely), or
+// 0 when e lands inside the guard band around the exact boundary — or when
+// the kernel has no cheap hazard surrogate (generic, or the general-β Pow
+// kind whose surrogate would cost the same math.Pow it is meant to avoid).
+// On 0 the caller computes FromExp(e) and compares directly.
+//
+// Margin sketch for the certain verdicts: the surrogate hazard h of x is
+// exact-math-monotone-equivalent to the draw comparison and computed with
+// ≤4 roundings, the draw transform chain carries ≤3 (no cancellation:
+// loc, scale, e all non-negative), and the caller's boundary x may carry a
+// few more — all O(ε) relative, dwarfed by the 1e-6 relative band. The
+// absolute band covers the regime h → 0 where the relative band vanishes;
+// the loc/scale term keeps the derived draw-domain margin above ε·loc even
+// for extreme location/scale ratios.
+func (k *Kernel) CompareExp(e, x float64) int {
+	var h, abs float64
+	switch k.kind {
+	case kindExponential:
+		if x <= 0 {
+			if x < 0 {
+				return 1 // draws are strictly positive
+			}
+			return 0
+		}
+		h = x * k.scale // scale holds the rate: e/rate > x ⟺ e > x·rate
+		abs = hazardAbsBand
+	case kindWeibullExp, kindWeibullSqrt, kindWeibullCbrt:
+		z := (x - k.loc) / k.scale
+		if z <= 0 {
+			// x at or below the location. The draw loc + scale·g(e) with
+			// g(e) > 0 certainly exceeds x when x is clearly below loc; at
+			// the boundary the outer addition can round down to loc itself,
+			// so stay uncertain there.
+			if k.loc-x > hazardRelBand*k.scale+1e-12*k.loc {
+				return 1
+			}
+			return 0
+		}
+		switch k.kind {
+		case kindWeibullExp:
+			h = z
+		case kindWeibullSqrt:
+			h = z * z
+		default:
+			h = z * z * z
+		}
+		abs = hazardAbsBand * (1 + k.loc/k.scale)
+	default:
+		return 0
+	}
+	if h > hazardHuge {
+		switch {
+		case e > 2*h:
+			return 1
+		case e < h/2:
+			return -1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case e > h*(1+hazardRelBand)+abs:
+		return 1
+	case e < h*(1-hazardRelBand)-abs:
+		return -1
+	default:
+		return 0
+	}
+}
+
 // cumHazard returns the base distribution's cumulative hazard H(t),
 // bit-identical to CumHazardOf(k.Distribution(), t): the Weibull and
 // exponential branches replicate those types' CumHazard methods exactly.
@@ -231,10 +371,27 @@ func (k *TiltedKernel) Theta() float64 { return k.theta }
 //	if x > m { lr = HazardScaleCensoredLogRatio(d, θ, m) }
 //	else     { lr = (θ-1)*h - ln θ }
 func (k *TiltedKernel) DrawLR(m float64, r *rng.RNG) (x, logLR float64) {
-	h := r.ExpFloat64() / k.theta
+	return k.DrawLRFromExp(r.ExpFloat64(), m)
+}
+
+// DrawLRFromExp is DrawLR fed from an externally supplied unit-exponential
+// variate e, bit-identical to DrawLR when e comes from the same stream
+// position — the tilted counterpart of Kernel.FromExp for batch consumers
+// that pre-fill exponential columns.
+func (k *TiltedKernel) DrawLRFromExp(e, m float64) (x, logLR float64) {
+	h := e / k.theta
 	x = k.quantileFromCumHazard(h)
 	if x > m {
 		return x, k.thetaM1 * k.cumHazard(m)
 	}
 	return x, k.thetaM1*h - k.logTheta
+}
+
+// CensoredLogLR returns the log likelihood ratio of a draw censored at m —
+// (θ-1)·H(m), exactly the value DrawLRFromExp returns for a draw landing
+// past m. Callers that can prove censoring from the hazard domain alone
+// (CompareHazard against CumHazard(m)) use it to skip the quantile
+// transform entirely.
+func (k *TiltedKernel) CensoredLogLR(m float64) float64 {
+	return k.thetaM1 * k.cumHazard(m)
 }

@@ -59,3 +59,128 @@ func TestUint64sAliasedState(t *testing.T) {
 		t.Fatalf("split batch fills: got %v, want %v", dst, wantVals)
 	}
 }
+
+// TestFloat64sMatchesSequential is the sequential-equivalence contract for
+// the uniform fill: one Float64s call produces exactly the values (and
+// final generator state) of len(dst) sequential Float64 calls.
+func TestFloat64sMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 1000} {
+		batch, seq := New(789), New(789)
+		dst := make([]float64, n)
+		batch.Float64s(dst)
+		for i, got := range dst {
+			if want := seq.Float64(); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d: Float64s[%d] = %v, sequential Float64 = %v", n, i, got, want)
+			}
+		}
+		if batch.s != seq.s {
+			t.Fatalf("n=%d: generator states diverge after batch fill", n)
+		}
+	}
+}
+
+// TestFloat64sAliasedState is the state-hoisting guard for Float64s: split
+// fills must continue the stream exactly where the previous fill stopped.
+func TestFloat64sAliasedState(t *testing.T) {
+	r := New(7)
+	want := New(7)
+	var wantVals [8]float64
+	for i := range wantVals {
+		wantVals[i] = want.Float64()
+	}
+	var dst [8]float64
+	r.Float64s(dst[:4])
+	r.Float64s(dst[4:])
+	if dst != wantVals {
+		t.Fatalf("split batch fills: got %v, want %v", dst, wantVals)
+	}
+}
+
+// TestAntitheticComplement pins the antithetic mode's contract: the same
+// seed with antithetic on yields the bitwise complement of every output
+// word — so each derived uniform u' = (2^53-1-u53)/2^53 ~ 1-u — with the
+// state advance untouched, and the batched fills agree with the scalar
+// draws in both modes.
+func TestAntitheticComplement(t *testing.T) {
+	prim, anti := New(99), New(99)
+	anti.SetAntithetic(true)
+	if !anti.Antithetic() || prim.Antithetic() {
+		t.Fatal("antithetic mode flags wrong")
+	}
+	for i := 0; i < 100; i++ {
+		u, v := prim.Uint64(), anti.Uint64()
+		if v != ^u {
+			t.Fatalf("draw %d: antithetic %#x is not the complement of %#x", i, v, u)
+		}
+	}
+	if prim.s != anti.s {
+		t.Fatal("antithetic mode perturbed the state advance")
+	}
+
+	// Uniform-layer meaning: u + u' == 1 - 2^-53 exactly for every pair.
+	for i := 0; i < 100; i++ {
+		sum := prim.Float64() + anti.Float64()
+		if sum != 1-0x1p-53 {
+			t.Fatalf("pair %d: u+u' = %v, want 1-2^-53", i, sum)
+		}
+	}
+
+	// Batched fills honour the mask and match scalar draws.
+	batch := New(99)
+	batch.SetAntithetic(true)
+	var us [16]uint64
+	var fs [16]float64
+	batch.Uint64s(us[:])
+	seq := New(99)
+	seq.SetAntithetic(true)
+	for i, got := range us {
+		if want := seq.Uint64(); got != want {
+			t.Fatalf("antithetic Uint64s[%d] = %#x, want %#x", i, got, want)
+		}
+	}
+	batch.Float64s(fs[:])
+	for i, got := range fs {
+		if want := seq.Float64(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("antithetic Float64s[%d] = %v, want %v", i, got, want)
+		}
+	}
+
+	// SetAntithetic(false) restores the primary stream from the same state.
+	anti.SetAntithetic(false)
+	if anti.Uint64() != prim.Uint64() {
+		t.Fatal("clearing antithetic mode did not restore the primary stream")
+	}
+}
+
+// Batched-fill micro-benchmarks, with -benchmem so allocation regressions
+// in the fill paths are visible alongside the ns/op.
+
+func BenchmarkUint64s(b *testing.B) {
+	r := New(1)
+	dst := make([]uint64, 1024)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(dst) * 8))
+	for i := 0; i < b.N; i++ {
+		r.Uint64s(dst)
+	}
+}
+
+func BenchmarkExpFloat64s(b *testing.B) {
+	r := New(1)
+	dst := make([]float64, 1024)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(dst) * 8))
+	for i := 0; i < b.N; i++ {
+		r.ExpFloat64s(dst)
+	}
+}
+
+func BenchmarkFloat64s(b *testing.B) {
+	r := New(1)
+	dst := make([]float64, 1024)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(dst) * 8))
+	for i := 0; i < b.N; i++ {
+		r.Float64s(dst)
+	}
+}

@@ -111,6 +111,9 @@ type resultDoc struct {
 	Confidence    float64    `json:"confidence"`
 	RelErr        *float64   `json:"rel_err,omitempty"`
 	ESS           float64    `json:"ess,omitempty"`
+	VRPairs       int        `json:"vr_pairs,omitempty"`
+	VRCoeff       float64    `json:"vr_coeff,omitempty"`
+	VRFactor      float64    `json:"vr_factor,omitempty"`
 	DDFsPer1000   float64    `json:"ddfs_per_1000_groups"`
 	Reason        string     `json:"reason"`
 	ElapsedS      float64    `json:"elapsed_s"`
@@ -129,13 +132,18 @@ func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
 		CILo:          res.CI.Lo,
 		CIHi:          res.CI.Hi,
 		ESS:           res.ESS,
+		VRPairs:       res.VRPairs,
+		VRCoeff:       res.VRCoeff,
+		VRFactor:      res.VRFactor,
 		Reason:        res.Reason.String(),
 		ElapsedS:      res.Elapsed.Seconds(),
 	}
 	if j.Merged {
 		doc.Reason = "merged"
 	}
-	if res.ESS > 0 {
+	if res.ESS > 0 || res.VRFactor > 0 {
+		// Weighted or variance-reduced estimate: the midpoint of the
+		// symmetric normal CI, not the raw event fraction.
 		doc.P = (res.CI.Lo + res.CI.Hi) / 2
 	} else if res.Iterations > 0 {
 		doc.P = float64(res.GroupsWithDDF) / float64(res.Iterations)

@@ -70,6 +70,23 @@ func MergeShards(shards []ShardResult) (*sim.SparseResult, error) {
 			}
 			return nil, fmt.Errorf("service: merge: shard %d holds %d iterations, manifest says %d", sh.Index, got, sh.Iterations)
 		}
+		// Variance-reduced shards must agree on the VR block layout and sit
+		// on block boundaries, or the concatenated block tallies would not
+		// be the single-run tallies. (Mis-sized trailing blocks are legal
+		// only on the final shard, where the campaign itself clips.)
+		if vr0 := ordered[0].Run.VR; (vr0 != nil) != (sh.Run.VR != nil) {
+			return nil, fmt.Errorf("service: merge: shard %d mixes variance-reduced and plain results", sh.Index)
+		} else if vr := sh.Run.VR; vr != nil {
+			if vr.BlockSize != vr0.BlockSize {
+				return nil, fmt.Errorf("service: merge: shard %d uses VR block size %d, others %d", sh.Index, vr.BlockSize, vr0.BlockSize)
+			}
+			if vr.BlockSize <= 0 || sh.Offset%vr.BlockSize != 0 {
+				return nil, fmt.Errorf("service: merge: shard %d starts at offset %d, not a multiple of its VR block size %d", sh.Index, sh.Offset, vr.BlockSize)
+			}
+			if vr.Iterations() != sh.Run.Groups {
+				return nil, fmt.Errorf("service: merge: shard %d VR blocks cover %d of %d iterations", sh.Index, vr.Iterations(), sh.Run.Groups)
+			}
+		}
 		next += sh.Iterations
 	}
 

@@ -60,6 +60,10 @@ type Metrics struct {
 	// simulated by this process — the denominator of the cache's value: a
 	// cache hit leaves it unchanged.
 	IterationsSimulated uint64 `json:"iterations_simulated"`
+	// VRIterations is the subset of IterationsSimulated run under the
+	// variance-reduction stack (block engine with antithetic, stratified,
+	// or control-variate estimation).
+	VRIterations uint64 `json:"vr_iterations,omitempty"`
 	// QueueDepth and Running describe the scheduler's current load.
 	QueueDepth int `json:"queue_depth"`
 	Running    int `json:"running"`
@@ -89,7 +93,7 @@ type Server struct {
 
 	running                                                         atomic.Int64
 	submitted, completed, failed, canceled, hits, coalesced, merges atomic.Uint64
-	iterations                                                      atomic.Uint64
+	iterations, vrIterations                                        atomic.Uint64
 }
 
 // New starts a Server with MaxConcurrent scheduler workers.
@@ -259,6 +263,7 @@ func (s *Server) Metrics() Metrics {
 		Coalesced:           s.coalesced.Load(),
 		Merges:              s.merges.Load(),
 		IterationsSimulated: s.iterations.Load(),
+		VRIterations:        s.vrIterations.Load(),
 		QueueDepth:          s.queue.Len(),
 		Running:             int(s.running.Load()),
 		Jobs:                jobs,
@@ -331,6 +336,13 @@ func (s *Server) runJob(j *Job) {
 	res, err := campaign.Run(ctx, spec)
 	s.running.Add(-1)
 	now := s.opts.now()
+	count := func() {
+		n := uint64(res.Iterations - res.ResumedFrom)
+		s.iterations.Add(n)
+		if spec.Config.VR.Enabled() {
+			s.vrIterations.Add(n)
+		}
+	}
 	switch {
 	case err != nil:
 		j.finish(JobFailed, nil, err, now)
@@ -340,12 +352,12 @@ func (s *Server) runJob(j *Job) {
 		// Canceled or drained: keep the partial result for inspection,
 		// count the work actually done, and evict so a resubmission
 		// re-enqueues (resuming from the checkpoint just written).
-		s.iterations.Add(uint64(res.Iterations - res.ResumedFrom))
+		count()
 		j.finish(JobCanceled, res, nil, now)
 		s.canceled.Add(1)
 		s.evict(j)
 	default:
-		s.iterations.Add(uint64(res.Iterations - res.ResumedFrom))
+		count()
 		j.finish(JobDone, res, nil, now)
 		s.completed.Add(1)
 	}

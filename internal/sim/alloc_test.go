@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"testing"
 
+	"raidrel/internal/dist"
 	"raidrel/internal/rng"
 )
 
@@ -115,4 +116,47 @@ func TestRunSparseMemoryFootprint(t *testing.T) {
 			allocated, bound)
 	}
 	t.Logf("1M iterations: %d DDFs, %d bytes allocated", res.TotalDDFs, allocated)
+}
+
+// TestBlockRunnerSteadyStateAllocs pins the batched path's allocation
+// contract at the runner level, where the pooled scratch is amortized over
+// whole blocks: once the pools are warm, an event-free iteration costs no
+// steady-state heap allocation — the per-run overhead (goroutines,
+// channels, handoff growth) stays a small constant regardless of the
+// iteration count.
+func TestBlockRunnerSteadyStateAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	// Operational failures far beyond the mission: every chronology is
+	// event-free, so any per-iteration allocation is hot-path bookkeeping,
+	// not event copying.
+	cfg := paperBaseConfig()
+	cfg.Trans.TTOp = dist.MustExponential(1e-12)
+	const iters = 1 << 14
+	run := func() {
+		res := &SparseResult{}
+		if err := RunCollect(RunSpec{
+			Config: cfg, Iterations: iters, Seed: 3, Workers: 1, Engine: BlockEngine{},
+		}, res); err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalDDFs != 0 {
+			t.Fatal("config produced events; alloc bound is not measuring the hot path")
+		}
+	}
+	run() // warm the scratch, handoff, and channel pools
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+
+	// One warm 16K-iteration run measures ~10 allocations (worker goroutine
+	// plus channel plumbing); 256 leaves slack for runtime noise while still
+	// failing loudly on any O(iterations) regression.
+	if allocs > 256 {
+		t.Errorf("warm %d-iteration block run made %d allocations, want a small constant (<= 256)", iters, allocs)
+	}
+	t.Logf("%d iterations: %d allocations", iters, allocs)
 }

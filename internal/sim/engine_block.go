@@ -1,0 +1,576 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+// BlockEngine is the batched structure-of-arrays implementation of the
+// interval chronology. It consumes the RNG through a prefetched uniform
+// column — one bulk rng.Uint64s refill ahead of a pre-logged exponential
+// frontier — and runs the compiled kernel transforms as flat array math,
+// while producing chronologies bit-identical to IntervalEngine: the same
+// stream yields the same DDFs and the same log weight, draw for draw.
+//
+// Two lazy-transform shortcuts keep the per-iteration math sublinear in the
+// draw count without breaking that identity:
+//
+//   - A first-generation operational draw whose exponential variate lies
+//     certainly above the slot's mission hazard H_s(M) (dist.CompareHazard,
+//     guard-banded) is substituted with +Inf instead of being transformed.
+//     Any value strictly above the mission is output-equivalent there: the
+//     slot loop breaks without appending an episode, the defect window is
+//     clipped to the mission either way, and a defect end truncated by the
+//     drive failure differs only beyond the mission, where no query ever
+//     looks. Under bias the censored log ratio (θ-1)·H(M) is precomputed
+//     per slot, so the skipped draw's weight factor is still bit-exact.
+//   - Scrub completions are kept in the exponential domain: a defect stores
+//     its scrub variate and is tested for liveness with the banded
+//     dist.CompareExp against the elapsed time, falling back to the exact
+//     transform (memoized) only inside the guard band.
+//
+// The engine requires every configured transition distribution to compile
+// to a specialized kernel (dist.Kernel.Compiled — Weibull or Exponential,
+// i.e. everything the paper's model uses); generic scripted distributions
+// and finite spare pools are rejected, as is the interval engine's spare
+// restriction. The NHPP defect process is supported through the same
+// column.
+//
+// Like the scalar engines it implements Engine and IntoSimulator for
+// one-group use; the runner's block path drives the pooled scratch
+// directly, simulating a whole block of groups per scratch acquisition,
+// with the variance-reduction hooks (antithetic pairing, stratified first
+// draw, control-variate indicator) applied per iteration.
+//
+// The column prefetches uniforms, so the generator is advanced further
+// than the draws consumed; callers must not interleave other draws on the
+// same generator mid-iteration. Every runner path reseeds per iteration
+// (SeedStream), which makes the overdraw unobservable.
+type BlockEngine struct {
+	// Block is the preferred iterations-per-block for the runner's batched
+	// path (0 = the configuration's VR block size, or DefaultVRBlock).
+	Block int
+}
+
+var (
+	_ Engine        = BlockEngine{}
+	_ IntoSimulator = BlockEngine{}
+)
+
+const (
+	// colChunk is the uniforms fetched per bulk RNG refill: covers the
+	// ~170-draw base-case iteration in one fill most of the time.
+	colChunk = 192
+	// colStride is the exponentials pre-logged per frontier advance; a
+	// short stride keeps the transform from running far past the draws a
+	// chronology actually consumes.
+	colStride = 16
+)
+
+// drawCol is the prefetched draw column: raw uniforms filled in bulk, an
+// exponential frontier logged in strides just ahead of consumption, and
+// the stratification override for the iteration's first accepted uniform.
+type drawCol struct {
+	r   *rng.RNG
+	pos int // next entry to consume
+	n   int // filled entries
+	lg  int // pre-log frontier: e[0:lg] is valid
+	// When strataK > 0 the next accepted (nonzero) uniform u is replaced
+	// by (strataJ + u)/strataK before the exponential transform — the
+	// within-block stratification of the first operational-failure draw.
+	strataJ, strataK float64
+	u                [colChunk]uint64
+	e                [colChunk]float64
+}
+
+// reset binds the column to a generator for one iteration, dropping any
+// prefetched tail (the runner reseeds per iteration) and arming stratum j
+// of k (k = 0 disables stratification).
+func (c *drawCol) reset(r *rng.RNG, j, k int) {
+	c.r = r
+	c.pos, c.n, c.lg = 0, 0, 0
+	c.strataJ, c.strataK = float64(j), float64(k)
+}
+
+// refill fetches the next chunk of raw uniforms.
+func (c *drawCol) refill() {
+	c.r.Uint64s(c.u[:])
+	c.pos, c.n, c.lg = 0, colChunk, 0
+}
+
+// preLog advances the exponential frontier by one stride: e[i] gets the
+// exact ExpFloat64 value -log(u) of its uniform, with u == 0 marked +Inf
+// so consumption can skip it (Float64Open's retry, deferred).
+func (c *drawCol) preLog() {
+	if c.lg < c.pos {
+		c.lg = c.pos
+	}
+	end := c.lg + colStride
+	if end > c.n {
+		end = c.n
+	}
+	for i := c.lg; i < end; i++ {
+		if u := float64(c.u[i]>>11) / (1 << 53); u > 0 {
+			c.e[i] = -math.Log(u)
+		} else {
+			c.e[i] = math.Inf(1)
+		}
+	}
+	c.lg = end
+}
+
+// nextExp returns the next unit-exponential variate, bit-identical to
+// rng.ExpFloat64 on the same stream: zero uniforms are skipped exactly as
+// Float64Open retries them.
+func (c *drawCol) nextExp() float64 {
+	for {
+		if c.pos == c.n {
+			c.refill()
+		}
+		if c.pos >= c.lg {
+			c.preLog()
+		}
+		i := c.pos
+		c.pos++
+		if c.strataK > 0 {
+			// The armed stratum consumes the raw uniform directly: the
+			// pre-logged value is for the unstratified draw.
+			u := float64(c.u[i]>>11) / (1 << 53)
+			if u == 0 {
+				continue
+			}
+			us := (c.strataJ + u) / c.strataK
+			c.strataK = 0
+			return -math.Log(us)
+		}
+		if e := c.e[i]; e != math.Inf(1) {
+			return e
+		}
+	}
+}
+
+// nextFloat64 returns the next uniform in [0,1), bit-identical to
+// rng.Float64 (no zero-skip) — the NHPP thinning acceptance draw.
+func (c *drawCol) nextFloat64() float64 {
+	if c.pos == c.n {
+		c.refill()
+	}
+	u := float64(c.u[c.pos]>>11) / (1 << 53)
+	c.pos++
+	return u
+}
+
+// blockDefect is a latent defect with its scrub completion kept lazy: the
+// effective end is min(natural scrub end, cap), where cap starts at the
+// drive's own failure and may be lowered to a concomitant restore by the
+// LdOp repair rule. The natural end is resolved from the stored
+// exponential variate only when a liveness query lands inside the
+// comparison guard band, and memoized.
+type blockDefect struct {
+	start    float64
+	cap      float64
+	e        float64
+	end      float64
+	resolved bool
+	hasScrub bool
+}
+
+// blockChronology is a slot's timeline in the block engine's lazy form.
+type blockChronology struct {
+	ops     []opInterval
+	defects []blockDefect
+}
+
+// blockScratch is the reusable per-worker state of the block engine: the
+// compiled kernels, the draw column, per-slot chronologies, the merged
+// failure sequence, and the per-slot acceleration constants (mission
+// hazards, censored gen-1 log ratios, the control-variate expectation).
+type blockScratch struct {
+	kern   cfgKernels
+	chrons []blockChronology
+	fails  []intervalFailure
+	col    drawCol
+	// hm[s] = H_s(Mission), the base cumulative mission hazard of slot s's
+	// operational-failure distribution — the gen-1 lazy-skip threshold and
+	// the control variate's analytic input.
+	hm []float64
+	// lr1[s] is the censored gen-1 log likelihood ratio (θ-1)·H_s(M),
+	// substituted for a provably censored first draw under bias.
+	lr1 []float64
+	// ez = 1 - exp(-Σ_s H_s(M)): the analytic expectation of the
+	// control-variate indicator z = 1{any gen-1 op failure <= Mission}.
+	ez       float64
+	latent   bool
+	hasScrub bool
+}
+
+var blockScratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+// prep compiles cfg into the scratch and precomputes the acceleration
+// state. cfg must already be validated. On error the scratch is left
+// released.
+func (sc *blockScratch) prep(cfg *Config) error {
+	if cfg.Spares != nil {
+		return fmt.Errorf("sim: the block engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
+	}
+	sc.kern.compile(cfg)
+	if err := sc.checkCompiled(cfg); err != nil {
+		sc.kern.release()
+		return err
+	}
+	sc.latent = cfg.Trans.latentEnabled()
+	sc.hasScrub = cfg.Trans.TTScrub != nil
+
+	if cap(sc.chrons) < cfg.Drives {
+		grown := make([]blockChronology, cfg.Drives)
+		copy(grown, sc.chrons[:cap(sc.chrons)])
+		sc.chrons = grown
+	}
+	sc.chrons = sc.chrons[:cfg.Drives]
+	if cap(sc.hm) < cfg.Drives {
+		sc.hm = make([]float64, cfg.Drives)
+		sc.lr1 = make([]float64, cfg.Drives)
+	}
+	sc.hm = sc.hm[:cfg.Drives]
+	sc.lr1 = sc.lr1[:cfg.Drives]
+	sumH := 0.0
+	for s := 0; s < cfg.Drives; s++ {
+		if sc.kern.biasOp {
+			tk := &sc.kern.ttopTilt[s]
+			sc.hm[s] = tk.CumHazard(cfg.Mission)
+			sc.lr1[s] = tk.CensoredLogLR(cfg.Mission)
+		} else {
+			sc.hm[s] = sc.kern.ttop[s].CumHazard(cfg.Mission)
+			sc.lr1[s] = 0
+		}
+		sumH += sc.hm[s]
+	}
+	sc.ez = -math.Expm1(-sumH)
+	return nil
+}
+
+// checkCompiled verifies every configured distribution compiled to a
+// specialized kernel; the block engine's exp-domain transforms have no
+// generic fallback.
+func (sc *blockScratch) checkCompiled(cfg *Config) error {
+	reject := func(what string) error {
+		return fmt.Errorf("sim: the block engine requires compiled (Weibull or Exponential) kernels, but %s does not compile; use IntervalEngine or EventEngine", what)
+	}
+	if sc.kern.biasOp {
+		for i := range sc.kern.ttopTilt {
+			if !sc.kern.ttopTilt[i].Compiled() {
+				return reject(fmt.Sprintf("slot %d's TTOp distribution", i))
+			}
+		}
+	} else {
+		for i := range sc.kern.ttop {
+			if !sc.kern.ttop[i].Compiled() {
+				return reject(fmt.Sprintf("slot %d's TTOp distribution", i))
+			}
+		}
+	}
+	if !sc.kern.ttr.Compiled() {
+		return reject("the TTR distribution")
+	}
+	if cfg.Trans.TTLd != nil {
+		if sc.kern.biasLd {
+			if !sc.kern.ttldTilt.Compiled() {
+				return reject("the TTLd distribution")
+			}
+		} else if !sc.kern.ttld.Compiled() {
+			return reject("the TTLd distribution")
+		}
+	}
+	if cfg.Trans.TTScrub != nil && !sc.kern.scrub.Compiled() {
+		return reject("the TTScrub distribution")
+	}
+	return nil
+}
+
+// release drops configuration references so the pooled scratch does not
+// pin a caller's state, keeping backing arrays warm.
+func (sc *blockScratch) release() {
+	sc.kern.release()
+	sc.col.r = nil
+}
+
+// Simulate implements Engine, discarding the importance-sampling weight.
+func (e BlockEngine) Simulate(cfg Config, r *rng.RNG) ([]DDF, error) {
+	out, _, err := e.SimulateInto(cfg, r, nil)
+	return out, err
+}
+
+// SimulateInto implements IntoSimulator: one chronology from r's stream,
+// bit-identical to IntervalEngine.SimulateInto — same DDFs, same logW. The
+// draw column prefetches, so r ends up advanced past the consumed draws;
+// reseed per iteration (as every runner does) rather than chaining draws.
+func (e BlockEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return buf, 0, err
+	}
+	sc := blockScratchPool.Get().(*blockScratch)
+	if err := sc.prep(&cfg); err != nil {
+		blockScratchPool.Put(sc)
+		return buf, 0, err
+	}
+	sc.col.reset(r, 0, 0)
+	buf, logW, _ := sc.simulateGroup(&cfg, buf)
+	sc.release()
+	blockScratchPool.Put(sc)
+	return buf, logW, nil
+}
+
+// simulateGroup runs one group chronology from the bound column, appending
+// DDFs to buf. Returns the extended buf, the iteration's log weight, and
+// the control-variate indicator z = 1{any first-generation operational
+// failure within the mission}. prep must have succeeded and col been reset.
+func (sc *blockScratch) simulateGroup(cfg *Config, buf []DDF) ([]DDF, float64, bool) {
+	chrons := sc.chrons
+	logW := 0.0
+	z := false
+	for i := range chrons {
+		chrons[i].ops = chrons[i].ops[:0]
+		chrons[i].defects = chrons[i].defects[:0]
+		lw, zi := sc.buildSlot(cfg, i, &chrons[i])
+		logW += lw
+		z = z || zi
+	}
+
+	// Merge every operational failure, tagged with its slot — the same
+	// slot-major append order and comparator as the interval engine, so the
+	// sort permutes ties identically.
+	fails := sc.fails[:0]
+	for slot := range chrons {
+		for _, op := range chrons[slot].ops {
+			fails = append(fails, intervalFailure{slot: slot, op: op})
+		}
+	}
+	sc.fails = fails
+	slices.SortFunc(fails, func(a, b intervalFailure) int {
+		switch {
+		case a.op.Fail < b.op.Fail:
+			return -1
+		case a.op.Fail > b.op.Fail:
+			return 1
+		default:
+			return 0
+		}
+	})
+
+	var suppressUntil float64
+	for _, f := range fails {
+		t := f.op.Fail
+		if t > cfg.Mission {
+			break
+		}
+		if t < suppressUntil {
+			continue
+		}
+		failedOthers := 0
+		var defect *blockDefect
+		defectStart := math.Inf(1)
+		for k := range chrons {
+			if k == f.slot {
+				continue
+			}
+			if opFailedAt(chrons[k].ops, t) {
+				failedOthers++
+				continue
+			}
+			// Defect starts are ascending within a slot, so the scan can
+			// stop at the first start past t (nothing later covers t) or
+			// past the best candidate (nothing later beats it), and the
+			// first live defect found is the slot's min-start live one —
+			// the same winner, under the same strict-< tie rule, as the
+			// interval engine's full scan.
+			ds := chrons[k].defects
+			for di := range ds {
+				d := &ds[di]
+				if d.start > t || d.start >= defectStart {
+					break
+				}
+				if sc.defectLive(d, t) {
+					defectStart = d.start
+					defect = d
+					break
+				}
+			}
+		}
+		switch {
+		case failedOthers >= cfg.Redundancy:
+			buf = append(buf, DDF{Time: t, Cause: CauseOpOp})
+			suppressUntil = f.op.RestoreEnd
+		case failedOthers == cfg.Redundancy-1 && defect != nil:
+			buf = append(buf, DDF{Time: t, Cause: CauseLdOp})
+			suppressUntil = f.op.RestoreEnd
+			// The defective drive is repaired with the failed one: lower
+			// the lazy end bound to the concomitant restore, which makes
+			// the effective end min(natural, cap, restore) — exactly the
+			// interval engine's truncation.
+			if f.op.RestoreEnd < defect.cap {
+				defect.cap = f.op.RestoreEnd
+			}
+		}
+	}
+	return buf, logW, z
+}
+
+// buildSlot lays out one slot's episodes and defects from the column,
+// draw-for-draw identical to buildSlotChronology, with the gen-1 lazy skip
+// applied. Returns the slot's log weight and whether its first-generation
+// drive failed within the mission.
+func (sc *blockScratch) buildSlot(cfg *Config, slot int, ch *blockChronology) (logW float64, z bool) {
+	genStart := 0.0 // installation time of the current drive
+	upFrom := 0.0   // operational-clock start of the current drive
+	gen1 := true
+	for {
+		dt, logLR := sc.drawTTOp(cfg, slot, upFrom, gen1)
+		logW += logLR
+		fail := upFrom + dt
+		end := fail
+		if end > cfg.Mission {
+			end = cfg.Mission
+		}
+		if sc.latent {
+			logW += sc.appendDefects(cfg, ch, genStart, end, fail)
+		}
+		if fail > cfg.Mission {
+			break
+		}
+		if gen1 {
+			z = true
+		}
+		restore := fail + sc.kern.ttr.FromExp(sc.col.nextExp())
+		ch.ops = append(ch.ops, opInterval{Fail: fail, RestoreEnd: restore})
+		genStart = fail
+		upFrom = restore
+		gen1 = false
+		if restore > cfg.Mission {
+			break
+		}
+	}
+	return logW, z
+}
+
+// drawTTOp is the column-fed counterpart of cfgKernels.drawTTOp with the
+// first-generation hazard-domain skip: when the exponential variate is
+// certainly past the slot's mission hazard, +Inf stands in for the
+// transformed draw (output-equivalent — see the engine comment) and, under
+// bias, the precomputed censored ratio stands in for the weight factor.
+func (sc *blockScratch) drawTTOp(cfg *Config, slot int, upFrom float64, gen1 bool) (dt, logLR float64) {
+	e := sc.col.nextExp()
+	if sc.kern.biasOp {
+		tk := &sc.kern.ttopTilt[slot]
+		if gen1 && dist.CompareHazard(e/tk.Theta(), sc.hm[slot]) > 0 {
+			return math.Inf(1), sc.lr1[slot]
+		}
+		return tk.DrawLRFromExp(e, cfg.Mission-upFrom)
+	}
+	if gen1 && dist.CompareHazard(e, sc.hm[slot]) > 0 {
+		return math.Inf(1), 0
+	}
+	return sc.kern.ttop[slot].FromExp(e), 0
+}
+
+// appendDefects renewal-samples defect arrivals on [genStart, windowEnd)
+// from the column, mirroring the interval engine's appendDefects draw for
+// draw; scrub completions stay in the exponential domain.
+func (sc *blockScratch) appendDefects(cfg *Config, ch *blockChronology, genStart, windowEnd, driveFail float64) float64 {
+	logW := 0.0
+	t := genStart
+	if sc.kern.plainTTLd {
+		for {
+			t += sc.kern.ttld.FromExp(sc.col.nextExp())
+			if t >= windowEnd {
+				return 0
+			}
+			sc.pushDefect(ch, t, driveFail)
+		}
+	}
+	for {
+		next, logLR := sc.nextDefect(cfg, t, windowEnd)
+		logW += logLR
+		t = next
+		if t >= windowEnd {
+			return logW
+		}
+		sc.pushDefect(ch, t, driveFail)
+	}
+}
+
+// pushDefect records a defect created at t, its scrub variate drawn (in
+// stream order) but untransformed.
+func (sc *blockScratch) pushDefect(ch *blockChronology, t, driveFail float64) {
+	d := blockDefect{start: t, cap: driveFail}
+	if sc.hasScrub {
+		d.e = sc.col.nextExp()
+		d.hasScrub = true
+	}
+	ch.defects = append(ch.defects, d)
+}
+
+// nextDefect is the column-fed counterpart of cfgKernels.nextDefect for
+// the non-plain processes (NHPP thinning, tilted renewal).
+func (sc *blockScratch) nextDefect(cfg *Config, from, horizon float64) (float64, float64) {
+	switch {
+	case cfg.Trans.TTLdRate != nil:
+		t := from
+		for {
+			t += sc.col.nextExp() / cfg.Trans.TTLdRateMax
+			if t > cfg.Mission {
+				return t, 0 // beyond the horizon; caller discards
+			}
+			rate := cfg.Trans.TTLdRate(t)
+			if rate < 0 || rate > cfg.Trans.TTLdRateMax {
+				if rate < 0 {
+					rate = 0
+				} else {
+					rate = cfg.Trans.TTLdRateMax
+				}
+			}
+			if sc.col.nextFloat64()*cfg.Trans.TTLdRateMax < rate {
+				return t, 0
+			}
+		}
+	case cfg.Trans.TTLd != nil:
+		if sc.kern.biasLd {
+			dt, logLR := sc.kern.ttldTilt.DrawLRFromExp(sc.col.nextExp(), horizon-from)
+			return from + dt, logLR
+		}
+		return from + sc.kern.ttld.FromExp(sc.col.nextExp()), 0
+	default:
+		return math.Inf(1), 0
+	}
+}
+
+// defectLive reports whether the defect covers time t (start <= t already
+// checked by the caller): t must be below both the lazy cap and the
+// natural scrub end, the latter tested in the exponential domain and
+// resolved exactly (and memoized) only inside the guard band.
+func (sc *blockScratch) defectLive(d *blockDefect, t float64) bool {
+	if t >= d.cap {
+		return false
+	}
+	if d.resolved {
+		return t < d.end
+	}
+	if !d.hasScrub {
+		return true // no scrub: the natural end is +Inf
+	}
+	switch sc.kern.scrub.CompareExp(d.e, t-d.start) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	// Exact fallback: the same start + FromExp(e) the interval engine
+	// computes eagerly, so the resolved end is bit-identical to its End.
+	d.end = d.start + sc.kern.scrub.FromExp(d.e)
+	d.resolved = true
+	return t < d.end
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -161,6 +162,14 @@ func RunCollect(spec RunSpec, c Collector) error {
 	if engine == nil {
 		engine = EventEngine{}
 	}
+	if be, ok := engine.(BlockEngine); ok {
+		// The block engine runs whole blocks per worker dispatch — and is
+		// the only engine that implements the variance-reduction schemes.
+		return runCollectBlocks(spec, be, workers, c)
+	}
+	if spec.Config.VR.Enabled() {
+		return fmt.Errorf("sim: variance reduction requires the block engine (set Engine: BlockEngine{})")
+	}
 	into, hasInto := engine.(IntoSimulator)
 	if spec.Config.Bias.Enabled() && !hasInto {
 		// Engine.Simulate has no channel for the likelihood-ratio weight;
@@ -212,6 +221,185 @@ func RunCollect(spec RunSpec, c Collector) error {
 			return h.err
 		}
 		c.Observe(i, h.ddfs, h.logW)
+	}
+	return nil
+}
+
+// blockWindow is each block worker's output-channel depth — blocks are
+// hundreds of iterations, so a shallow window already hides merge jitter.
+const blockWindow = 4
+
+// blockEv is one event-bearing iteration inside a block handoff, sparse
+// because the overwhelming majority of iterations produce no events.
+type blockEv struct {
+	idx  int // iteration index within the block
+	ddfs []DDF
+}
+
+// blockHandoff is one simulated block crossing from a worker to the merger.
+// Handoffs are pooled; the per-iteration log weights and the sparse event
+// index reuse their backing arrays across blocks.
+type blockHandoff struct {
+	logWs []float64 // one per iteration, in iteration order
+	ev    []blockEv
+	vr    VRBlock
+	ez    float64
+	err   error
+}
+
+var blockHandoffPool = sync.Pool{New: func() any { return new(blockHandoff) }}
+
+// recycle clears the handoff for reuse, dropping event-slice references
+// (the collector owns them after Observe).
+func (h *blockHandoff) recycle() {
+	h.logWs = h.logWs[:0]
+	for i := range h.ev {
+		h.ev[i].ddfs = nil
+	}
+	h.ev = h.ev[:0]
+	h.vr = VRBlock{}
+	h.ez = 0
+	h.err = nil
+}
+
+// runCollectBlocks is RunCollect's batched path: worker w simulates whole
+// blocks b ≡ w (mod workers) of consecutive iterations on one scratch
+// acquisition, and the merger round-robins the blocks back into the same
+// strict per-iteration Observe order the scalar path produces. With
+// cfg.VR disabled the observed stream is bit-identical to the scalar
+// engines'; with it enabled the antithetic/stratified stream mapping is
+// applied per iteration and each block's tallies reach any VRBlockObserver.
+func runCollectBlocks(spec RunSpec, be BlockEngine, workers int, c Collector) error {
+	cfg := spec.Config
+	vr := cfg.VR
+	// The VR configuration's block size wins (the stratum layout depends on
+	// it); the engine's Block is a batching hint for plain runs.
+	bs := be.Block
+	if vr.Enabled() || vr.BlockSize > 0 {
+		bs = vr.EffectiveBlock()
+	}
+	if bs <= 0 {
+		bs = DefaultVRBlock
+	}
+
+	// Blocks are aligned to multiples of bs in global (Offset-shifted)
+	// iteration space, so a campaign batch starting at a block boundary
+	// continues the exact block sequence of an unbatched run. Edge blocks of
+	// unaligned runs are clipped.
+	lo, hi := spec.Offset, spec.Offset+spec.Iterations
+	b0, bLast := lo/bs, (hi-1)/bs
+	nBlocks := bLast - b0 + 1
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	blockRange := func(b int) (blo, bhi int) {
+		blo, bhi = b*bs, (b+1)*bs
+		if blo < lo {
+			blo = lo
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		return blo, bhi
+	}
+
+	done := make(chan struct{})
+	defer close(done)
+	chans := make([]chan *blockHandoff, workers)
+	for w := 0; w < workers; w++ {
+		chans[w] = make(chan *blockHandoff, blockWindow)
+		go func(w int, out chan<- *blockHandoff) {
+			sc := blockScratchPool.Get().(*blockScratch)
+			defer func() {
+				sc.release()
+				blockScratchPool.Put(sc)
+			}()
+			prepErr := sc.prep(&cfg)
+			var (
+				r   rng.RNG
+				buf []DDF
+			)
+			for b := b0 + w; b <= bLast; b += workers {
+				h := blockHandoffPool.Get().(*blockHandoff)
+				h.recycle()
+				if prepErr != nil {
+					h.err = prepErr
+					select {
+					case out <- h:
+					case <-done:
+					}
+					return
+				}
+				blo, bhi := blockRange(b)
+				h.ez = sc.ez
+				prevY := 0.0
+				for g := blo; g < bhi; g++ {
+					stream, anti := vr.stream(g)
+					r.SeedStream(spec.Seed, stream)
+					r.SetAntithetic(anti)
+					j, k := vr.stratum(g)
+					sc.col.reset(&r, j, k)
+					var logW float64
+					var z bool
+					buf, logW, z = sc.simulateGroup(&cfg, buf[:0])
+					h.logWs = append(h.logWs, logW)
+					if len(buf) > 0 {
+						cp := make([]DDF, len(buf))
+						copy(cp, buf)
+						h.ev = append(h.ev, blockEv{idx: g - blo, ddfs: cp})
+					}
+					if vr.Enabled() {
+						wt := math.Exp(logW)
+						y, zv := 0.0, 0.0
+						if len(buf) > 0 {
+							y = wt
+						}
+						if z {
+							zv = wt
+						}
+						h.vr.Y += y
+						h.vr.Z += zv
+						h.vr.Y2 += y * y
+						h.vr.N++
+						if vr.Antithetic {
+							if g%2 == 1 && g-1 >= blo {
+								h.vr.C += prevY * y
+								h.vr.P++
+							}
+							prevY = y
+						}
+					}
+				}
+				select {
+				case out <- h:
+				case <-done:
+					return
+				}
+			}
+		}(w, chans[w])
+	}
+
+	vrObs, hasVRObs := c.(VRBlockObserver)
+	for b := b0; b <= bLast; b++ {
+		h := <-chans[(b-b0)%workers]
+		if h.err != nil {
+			return h.err
+		}
+		blo, _ := blockRange(b)
+		evi := 0
+		for idx, logW := range h.logWs {
+			var ddfs []DDF
+			if evi < len(h.ev) && h.ev[evi].idx == idx {
+				ddfs = h.ev[evi].ddfs
+				evi++
+			}
+			c.Observe(blo+idx-lo, ddfs, logW)
+		}
+		if vr.Enabled() && hasVRObs {
+			vrObs.ObserveVRBlock(bs, h.ez, h.vr)
+		}
+		h.recycle()
+		blockHandoffPool.Put(h)
 	}
 	return nil
 }

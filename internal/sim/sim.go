@@ -108,6 +108,12 @@ type Config struct {
 	// likelihood-ratio weight so the weighted estimator stays unbiased.
 	// The zero value is plain (unbiased) Monte Carlo.
 	Bias Bias
+	// VR optionally turns on block-level variance reduction — antithetic
+	// stream pairs, stratified first-failure draws, and/or the analytic
+	// control variate — stacking multiplicatively with Bias. Requires the
+	// block engine (BlockEngine); the runner enforces this. The zero value
+	// is plain independent sampling.
+	VR VR
 }
 
 // Validate checks the configuration.
@@ -146,6 +152,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Bias.validate(); err != nil {
+		return err
+	}
+	if err := c.VR.validate(); err != nil {
 		return err
 	}
 	if c.Bias.ldEnabled() && c.Trans.TTLd == nil {

@@ -57,6 +57,10 @@ type SparseResult struct {
 	TotalDDFs int
 	// OpOpDDFs and LdOpDDFs split the total by cause.
 	OpOpDDFs, LdOpDDFs int
+	// VR holds the block-level variance-reduction tallies when the run used
+	// VR-enabled block simulation; nil otherwise. Blocks are in iteration
+	// order, matching the Events index.
+	VR *VRTally
 
 	// mu guards every field. The per-iteration Observe cost is one
 	// uncontended lock/unlock — noise next to a chronology simulation —
@@ -90,6 +94,17 @@ func (r *SparseResult) Observe(iteration int, ddfs []DDF, logW float64) {
 		r.tallyOne(d.Cause)
 	}
 	r.invalidateLocked()
+}
+
+// ObserveVRBlock implements VRBlockObserver: it appends one completed
+// variance-reduction block's tallies, in block order.
+func (r *SparseResult) ObserveVRBlock(blockSize int, ez float64, b VRBlock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.VR == nil {
+		r.VR = &VRTally{BlockSize: blockSize, EZ: ez}
+	}
+	r.VR.Blocks = append(r.VR.Blocks, b)
 }
 
 func (r *SparseResult) tallyOne(c Cause) {
@@ -137,6 +152,12 @@ func (r *SparseResult) Merge(other *SparseResult) {
 	r.TotalDDFs += other.TotalDDFs
 	r.OpOpDDFs += other.OpOpDDFs
 	r.LdOpDDFs += other.LdOpDDFs
+	if other.VR != nil {
+		if r.VR == nil {
+			r.VR = &VRTally{BlockSize: other.VR.BlockSize, EZ: other.VR.EZ}
+		}
+		r.VR.merge(other.VR)
+	}
 	r.invalidateLocked()
 }
 

@@ -24,7 +24,10 @@ MAX_PCT="${MAX_REGRESSION_PCT:-10}"
 # The pinned set: small, stable benchmarks that cover the per-draw kernels
 # and the end-to-end engine iteration. Sub-benchmarks of the listed names
 # are included.
-PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|BenchmarkEngineTimelineInto|BenchmarkEngineTimelineBiasedInto|BenchmarkEngineSequentialInto|BenchmarkEngineSequentialBiasedInto)$'
+PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|BenchmarkEngineTimelineInto|BenchmarkEngineTimelineBiasedInto|BenchmarkEngineSequentialInto|BenchmarkEngineSequentialBiasedInto|BenchmarkEngineBlockInto|BenchmarkEngineBlockBiasedInto|BenchmarkEngineBlockVRInto)$'
+# The batched engine must hold its headline speedup over the scalar
+# interval engine (BENCH_sim.json): block median <= sequential/MIN_SPEEDUP.
+MIN_SPEEDUP="${MIN_BLOCK_SPEEDUP:-1.5}"
 PKGS=". ./internal/dist"
 
 cd "$(dirname "$0")/.."
@@ -102,3 +105,42 @@ join <(medians "$tmp/base.txt") <(medians "$tmp/head.txt") |
       }
       print "benchgate: OK"
     }'
+
+# Head-only absolute gate: the block engine's amortized per-iteration cost
+# must stay at least MIN_SPEEDUP× below the default event engine's and no
+# worse than the faster scalar (interval) engine's. The event-engine ratio
+# is ~3× with margin; the interval ratio (~1.6×) drifts with single-core VM
+# noise between invocations, so it gates at parity rather than flaking.
+# Base refs that predate the block engine simply lack the benchmark, so
+# this compares within the head measurement.
+medians "$tmp/head.txt" | awk -v min="$MIN_SPEEDUP" '
+  $1 == "BenchmarkEngineBlockInto" { block = $2 }
+  $1 == "BenchmarkEngineSequentialInto" { seq = $2 }
+  $1 == "BenchmarkEngineTimelineInto" { evt = $2 }
+  END {
+    if (!block || !seq || !evt) {
+      print "benchgate: block/scalar medians not all measured; skipping speedup gate"
+      exit 0
+    }
+    printf "benchgate: block %.0f ns vs event %.0f ns (%.2fx, gate >= %.2fx) vs interval %.0f ns (%.2fx, gate >= 1x)\n", \
+      block, evt, evt / block, min, seq, seq / block
+    if (evt / block < min) {
+      print "benchgate: FAIL — batched engine lost its speedup over the event engine"
+      exit 1
+    }
+    if (block > seq) {
+      print "benchgate: FAIL — batched engine slower than the scalar interval engine"
+      exit 1
+    }
+  }'
+
+# Statistical-efficiency gate: the variance-reduction stack must keep
+# reaching the relative-CI target with >= 2x fewer iterations than the
+# plain estimator on the paper no-scrub base case (the BENCH_sim.json
+# variance_reduction figure). The test fails on any regression.
+echo "benchgate: checking iterations-to-CI efficiency figure"
+go test ./internal/campaign/ -run '^TestVREfficiencyFigure$' -count 1 >/dev/null || {
+  echo "benchgate: FAIL — TestVREfficiencyFigure regressed (VR iterations-to-CI advantage below 2x)"
+  exit 1
+}
+echo "benchgate: efficiency figure OK"
