@@ -189,6 +189,30 @@ func BenchmarkEngineTimelineInto(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTimelineFlatTopoInto pins the price of the topology
+// layer's flat fast path: an explicitly flat (component-free) topology
+// must compile down to the plain per-drive event engine, costing one nil
+// scratch check per availability-relevant event. Gate-compared against
+// BenchmarkEngineTimelineInto's median — the two must stay within noise
+// of each other.
+func BenchmarkEngineTimelineFlatTopoInto(b *testing.B) {
+	cfg := baseSimConfig()
+	cfg.Topology = &sim.Topology{}
+	engine := sim.EventEngine{}
+	var (
+		r   rng.RNG
+		buf []sim.DDF
+		err error
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SeedStream(1, uint64(i))
+		if buf, _, err = engine.SimulateInto(cfg, &r, buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineSequential measures the Fig. 5 interval engine on the
 // same configuration.
 func BenchmarkEngineSequential(b *testing.B) {

@@ -6,8 +6,8 @@
 //	experiments [-iterations N] [-seed S] [-points P] [-csv] <experiment>
 //
 // where <experiment> is one of: table1, table2, table3, fig1, fig2, fig6,
-// fig7, fig8, fig9, fig10, sweepn (group-size sweep), sensitivity
-// (tornado analysis), or all.
+// fig7, fig8, fig9, fig10, sweepn (group-size sweep), topology
+// (shared-hardware designs), sensitivity (tornado analysis), or all.
 package main
 
 import (
@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "sweepn", "sensitivity"} {
+		for _, n := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "sweepn", "topology", "sensitivity"} {
 			if err := r.render(n); err != nil {
 				return err
 			}

@@ -51,6 +51,7 @@ func TestRunSimulatedExperiments(t *testing.T) {
 		{"fig9", "12 h scrub"},
 		{"fig10", "β = 0.80"},
 		{"sweepn", "per data drive"},
+		{"topology", "dual-pathed"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -65,6 +65,8 @@ func (r renderer) render(name string) error {
 		return r.seriesChart("Figure 10: TTOp shape sweep at fixed characteristic life", series)
 	case "sweepn":
 		return r.sweepN()
+	case "topology":
+		return r.topology()
 	case "sensitivity":
 		return r.sensitivity()
 	default:
@@ -157,6 +159,26 @@ func (r renderer) sweepN() error {
 			fmt.Sprintf("%.3f", row.MTTDLPrediction))
 	}
 	return t.Render(r.out)
+}
+
+func (r renderer) topology() error {
+	rows, err := experiments.TopologySweep(r.opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Topology sweep: shared-hardware designs at fixed drives and RAID redundancy")
+	t := report.NewTable("design", "DDFs/1000 groups", "unavail onsets/1000", "p(group unavailable)")
+	for _, row := range rows {
+		t.AddRow(row.Design,
+			fmt.Sprintf("%.2f", row.DDFs),
+			fmt.Sprintf("%.1f", row.Unavail),
+			fmt.Sprintf("%.3f", row.PUnavail))
+	}
+	if err := t.Render(r.out); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "unavailability onsets are access-loss episodes, not data loss; the flat row is 0 by construction")
+	return nil
 }
 
 func (r renderer) sensitivity() error {

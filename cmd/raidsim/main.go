@@ -12,6 +12,7 @@
 //	        [-op-eta 461386] [-op-beta 1.12]
 //	        [-ttr-gamma 6] [-ttr-eta 12] [-ttr-beta 2]
 //	        [-ld-rate 1.08e-4] [-scrub 168]
+//	        [-topology topo.json]
 //	        [-iterations 10000] [-seed 1] [-csv]
 //	        [-trace]
 //	        [-target-rel-err 0.1] [-confidence 0.95]
@@ -20,6 +21,22 @@
 //	        [-bias 4] [-bias-ld 1]
 //	        [-vr antithetic,stratify,cv] [-batch-block 256]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -topology loads a component topology — the shared failure domains
+// (enclosures, expanders, controllers) the drives sit behind — as a JSON
+// document of the core.TopologySpec schema:
+//
+//	{"components": [
+//	  {"name": "enclosure", "drives": [0,1,2,3,4,5,6,7],
+//	   "tt_op": {"scale": 200000, "shape": 1}, "ttr": {"scale": 2000, "shape": 1}},
+//	  {"name": "expander", "parent": "enclosure", "paths": 2,
+//	   "tt_op": {"scale": 150000, "shape": 1}, "ttr": {"scale": 300, "shape": 1}}
+//	]}
+//
+// A component outage makes every drive behind it inaccessible at once and
+// pauses their rebuilds — distinct from data loss, reported separately as
+// unavailability onsets. Coupled topologies run on the event engine and
+// cannot combine with -vr or a spare pool.
 //
 // -bias enables importance sampling: operational-failure hazards are
 // scaled up by the factor during sampling and every estimate is
@@ -35,7 +52,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -78,6 +97,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ttrBeta := fs.Float64("ttr-beta", 2, "TTR shape")
 	ldRate := fs.Float64("ld-rate", 1.08e-4, "latent defects per drive-hour (0 disables)")
 	scrubHours := fs.Float64("scrub", 168, "scrub period, hours (0 disables)")
+	topoFile := fs.String("topology", "", "JSON component-topology file (shared failure domains; empty = flat drives-only model)")
 	iterations := fs.Int("iterations", 10000, "simulated RAID groups (fixed-size campaigns)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit the cumulative curve as CSV")
@@ -149,6 +169,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+	if *topoFile != "" {
+		data, err := os.ReadFile(*topoFile)
+		if err != nil {
+			return fmt.Errorf("-topology: %w", err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var ts core.TopologySpec
+		if err := dec.Decode(&ts); err != nil {
+			return fmt.Errorf("-topology %s: %w", *topoFile, err)
+		}
+		p.Topology = &ts
 	}
 	p.Bias.Op = *bias
 	p.Bias.Ld = *biasLd
@@ -224,6 +257,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	opop, ldop := res.CauseBreakdown()
 	fmt.Fprintf(out, "\nmission total: %.4g DDFs per 1000 groups (%.4g op+op, %.4g ld+op)\n",
 		values[len(values)-1], opop, ldop)
+	if p.Topology != nil {
+		fmt.Fprintf(out, "availability:  %.4g unavailability onsets per 1000 groups (%.3g of groups affected; not data loss)\n",
+			res.UnavailPer1000Groups(), res.GroupUnavailProbability())
+	}
 	if camp != nil {
 		fmt.Fprintf(out, "campaign:      %d groups in %d batches, stopped: %s\n",
 			camp.Iterations, camp.Batches, camp.Reason)

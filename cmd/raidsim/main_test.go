@@ -320,6 +320,55 @@ func captureStderrErr(f func() error) error {
 	return f()
 }
 
+// -topology loads a component tree from JSON, runs the coupled model on
+// the event engine, and adds the availability line to the summary.
+func TestRunTopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	topo := `{"components": [
+		{"name": "enclosure", "drives": [0,1,2,3,4,5,6,7],
+		 "tt_op": {"scale": 20000, "shape": 1}, "ttr": {"scale": 1000, "shape": 1}}
+	]}`
+	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-iterations", "200", "-topology", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mission total", "availability:", "unavailability onsets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTopologyValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "topo.json")
+	topo := `{"components": [
+		{"name": "enclosure", "drives": [0,1],
+		 "tt_op": {"scale": 20000, "shape": 1}, "ttr": {"scale": 1000, "shape": 1}}
+	]}`
+	if err := os.WriteFile(good, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "nope.json")
+	bogus := filepath.Join(dir, "bogus.json")
+	if err := os.WriteFile(bogus, []byte(`{"component": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-topology", missing},
+		{"-topology", bogus}, // unknown field must be rejected, not ignored
+		{"-topology", good, "-vr", "antithetic", "-iterations", "512"}, // coupled + VR unsupported
+	} {
+		if err := run(context.Background(), args, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestRunVRCampaign(t *testing.T) {
 	var sb strings.Builder
 	err := run(context.Background(), []string{

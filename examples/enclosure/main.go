@@ -1,0 +1,93 @@
+// Enclosure design: the drives of a RAID group do not fail in isolation —
+// they sit behind shared enclosures and SAS expanders, and when one of
+// those dies, every drive behind it drops out at once. The data is intact
+// (the episode ends when the part is swapped), but rebuilds pause and an
+// N+1 group is suddenly N+1 drives it cannot read. The flat model of the
+// paper puts this risk at exactly zero; the topology layer measures it.
+//
+// This example builds a two-level component tree — one enclosure feeding
+// two expanders, each carrying half the drives — and compares it against
+// the same tree with dual-pathed expanders, separating what changed
+// (availability) from what barely moves (data loss).
+//
+//	go run ./examples/enclosure
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"raidrel/internal/core"
+	"raidrel/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Expander-class electronics: long-lived, but a failure means an
+	// ordered part and a service visit, not a hot-spare pull.
+	expTTOp := core.WeibullSpec{Scale: 150000, Shape: 1}
+	expTTR := core.WeibullSpec{Scale: 72, Shape: 1}
+	// The enclosure itself (backplane, power): rarer still, slower to fix.
+	encTTOp := core.WeibullSpec{Scale: 400000, Shape: 1}
+	encTTR := core.WeibullSpec{Scale: 168, Shape: 1}
+
+	tree := func(paths int) *core.TopologySpec {
+		return &core.TopologySpec{Components: []core.ComponentSpec{
+			// The enclosure has no directly-attached drives; its effective
+			// cover is everything behind its children.
+			{Name: "enclosure", TTOp: encTTOp, TTR: encTTR},
+			{Name: "expander-a", Parent: "enclosure", Drives: []int{0, 1, 2, 3},
+				Paths: paths, TTOp: expTTOp, TTR: expTTR},
+			{Name: "expander-b", Parent: "enclosure", Drives: []int{4, 5, 6, 7},
+				Paths: paths, TTOp: expTTOp, TTR: expTTR},
+		}}
+	}
+
+	designs := []struct {
+		name string
+		topo *core.TopologySpec
+		hint string
+	}{
+		{"flat (no shared hardware)", nil, "the paper's model"},
+		{"single-pathed expanders", tree(1), "each expander a single point of access"},
+		{"dual-pathed expanders", tree(2), "same tree, paired expander silicon"},
+	}
+
+	const iters = 4000
+	t := report.NewTable("design", "DDFs/1000 groups", "unavail onsets/1000", "p(episode)", "note")
+	for _, d := range designs {
+		p := core.BaseCase()
+		p.Topology = d.topo
+		m, err := core.New(p)
+		if err != nil {
+			return err
+		}
+		res, err := m.Run(iters, 2026)
+		if err != nil {
+			return err
+		}
+		t.AddRow(d.name,
+			fmt.Sprintf("%.1f", res.DDFsPer1000GroupsAt(p.MissionHours)),
+			fmt.Sprintf("%.1f", res.UnavailPer1000Groups()),
+			fmt.Sprintf("%.3f", res.GroupUnavailProbability()),
+			d.hint)
+	}
+	fmt.Println("8-drive RAID 5 group, 10-year mission, shared-hardware variants")
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nData loss barely moves across the rows: drives dominate it, and a")
+	fmt.Println("component outage only stretches the exposure window while it lasts.")
+	fmt.Println("Availability is the real casualty — with single-pathed expanders a")
+	fmt.Println("large fraction of groups see at least one multi-drive access-loss")
+	fmt.Println("episode per mission, and dual-pathing buys that back for the cost")
+	fmt.Println("of paired silicon. MTTDL-style drive-only models cannot rank these")
+	fmt.Println("designs at all: every row looks identical to them.")
+	return nil
+}

@@ -244,6 +244,11 @@ type Result struct {
 	// GroupsWithDDF counts groups that experienced at least one DDF —
 	// the binomial numerator behind CI.
 	GroupsWithDDF int
+	// GroupsWithUnavail counts groups that experienced at least one
+	// unavailability onset (a coupled-topology episode where a component
+	// outage pushed the group past its redundancy without data loss). Zero
+	// for flat topologies; never part of the loss statistics or CI.
+	GroupsWithUnavail int
 	// CI is the interval on the per-group DDF probability: Wilson for a
 	// plain campaign, the weighted-normal interval of the likelihood-ratio
 	// estimator when importance sampling is enabled.
@@ -371,6 +376,7 @@ func assemble(spec Spec, run *sim.SparseResult, done, batches, resumedFrom int, 
 	res.RelErr = math.Inf(1)
 	if done > 0 {
 		res.GroupsWithDDF = run.GroupsWithDDF()
+		res.GroupsWithUnavail = run.GroupsWithUnavail()
 		var ws []float64
 		if spec.Config.Bias.Enabled() {
 			// ESS stays the weight-degeneracy diagnostic of any

@@ -97,6 +97,14 @@ func (s Spec) Fingerprint() string {
 		// block size — the block tallies would otherwise be incompatible.
 		fmt.Fprintf(h, "vr=%v;", cfg.VR)
 	}
+	if cfg.Topology.Coupled() {
+		// Included only for coupled topologies, so every flat campaign's
+		// fingerprint (and checkpoint) predating the component layer stays
+		// valid, while a coupled campaign never resumes a flat checkpoint or
+		// one with a different component tree. Topology.String renders the
+		// components deterministically for exactly this purpose.
+		fmt.Fprintf(h, "topology=%v;", cfg.Topology)
+	}
 	if s.Offset != 0 {
 		// Included only for shard campaigns, so every pre-sharding
 		// fingerprint (and checkpoint) stays valid, while shard i's
@@ -170,7 +178,7 @@ func loadCheckpoint(path string, spec Spec) (*sim.SparseResult, int, error) {
 // verifying the format version, that the checkpoint belongs to this
 // (config, seed, engine), and that every event is well-formed — group
 // inside [0, NextStream), time finite and within the mission, cause one of
-// the two defined values, events sorted by (group, time), log weights
+// the defined values, events sorted by (group, time), log weights
 // finite and identical within a group. A corrupted or hand-edited file
 // yields a descriptive error, never a panic or a silently inconsistent
 // accumulator.
@@ -204,7 +212,7 @@ func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
 			return nil, 0, fmt.Errorf("event %d: time %v outside [0, %v]", i, e.Time, spec.Config.Mission)
 		}
 		c := sim.Cause(e.Cause)
-		if c != sim.CauseOpOp && c != sim.CauseLdOp {
+		if c != sim.CauseOpOp && c != sim.CauseLdOp && c != sim.CauseUnavail {
 			return nil, 0, fmt.Errorf("event %d: unknown cause %d", i, e.Cause)
 		}
 		if math.IsNaN(e.LogW) || math.IsInf(e.LogW, 0) {

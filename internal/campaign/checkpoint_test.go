@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/sim"
 )
 
 // TestKillResumeEqualsUninterrupted is the subsystem's core guarantee:
@@ -133,6 +136,59 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if rerun.Reason != StopMaxIterations {
 		t.Errorf("resume of finished campaign stopped for %v", rerun.Reason)
+	}
+}
+
+// A coupled-topology campaign's checkpoints carry unavailability onsets
+// (cause 3) next to the loss events; the round trip must restore them into
+// the unavailability tallies, and resuming must reproduce the
+// uninterrupted campaign bit-for-bit.
+func TestCheckpointRoundTripWithTopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	cfg := fastConfig()
+	cfg.Topology = &sim.Topology{Components: []sim.Component{{
+		Name:   "enclosure",
+		Drives: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		TTOp:   dist.MustExponential(5e-4),
+		TTR:    dist.MustExponential(1e-3),
+	}}}
+	spec := Spec{
+		Config:        cfg,
+		Seed:          17,
+		BatchSize:     200,
+		MaxIterations: 600,
+		Checkpoint:    path,
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.UnavailEvents == 0 {
+		t.Fatal("no unavailability onsets at these component rates; the round trip tests nothing")
+	}
+	if res.GroupsWithUnavail == 0 {
+		t.Error("campaign result did not surface unavailable groups")
+	}
+
+	restored, _, err := loadCheckpoint(path, spec.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.UnavailEvents != res.Run.UnavailEvents {
+		t.Errorf("restored %d unavailability onsets, want %d", restored.UnavailEvents, res.Run.UnavailEvents)
+	}
+	if restored.TotalDDFs != res.Run.TotalDDFs || !reflect.DeepEqual(restored.Events, res.Run.Events) {
+		t.Error("restored events differ from the live campaign's")
+	}
+
+	// A flat campaign must reject the coupled checkpoint: the topology is
+	// part of the fingerprint when (and only when) it is coupled.
+	flat := spec
+	flat.Checkpoint = ""
+	flat.Resume = path
+	flat.Config.Topology = nil
+	if _, err := Run(context.Background(), flat); err == nil {
+		t.Error("flat campaign resumed a coupled-topology checkpoint")
 	}
 }
 

@@ -76,4 +76,31 @@ func TestFingerprintSensitivity(t *testing.T) {
 	if budget.Fingerprint() != fp {
 		t.Error("stopping knobs perturbed the fingerprint")
 	}
+
+	// A flat (nil or component-free) topology must not perturb the
+	// fingerprint — it is the same simulated model, and every checkpoint
+	// written before the component layer existed must stay resumable. A
+	// coupled topology is identity, and different trees differ.
+	flat := base
+	flat.Config.Topology = &sim.Topology{}
+	if flat.Fingerprint() != fp {
+		t.Error("flat topology perturbed the fingerprint (legacy checkpoints orphaned)")
+	}
+	coupled := base
+	coupled.Config.Topology = &sim.Topology{Components: []sim.Component{{
+		Name: "enc", Drives: []int{0, 1},
+		TTOp: dist.MustExponential(1e-5), TTR: dist.MustExponential(1e-3),
+	}}}
+	cfp := coupled.Fingerprint()
+	if cfp == fp {
+		t.Error("coupled topology did not change the fingerprint")
+	}
+	other := base
+	other.Config.Topology = &sim.Topology{Components: []sim.Component{{
+		Name: "enc", Drives: []int{0, 1},
+		TTOp: dist.MustExponential(2e-5), TTR: dist.MustExponential(1e-3),
+	}}}
+	if other.Fingerprint() == cfp {
+		t.Error("different component rates share a fingerprint")
+	}
 }

@@ -20,6 +20,9 @@ type Snapshot struct {
 	Batches int
 	// TotalDDFs, OpOpDDFs, LdOpDDFs are the running event counts by cause.
 	TotalDDFs, OpOpDDFs, LdOpDDFs int
+	// UnavailEvents is the running count of unavailability onsets (coupled
+	// topologies only); never part of the loss counts above.
+	UnavailEvents int
 	// GroupsWithDDF is the binomial numerator of the stopping statistic.
 	GroupsWithDDF int
 	// CI is the current interval on the per-group DDF probability (Wilson,
@@ -59,6 +62,7 @@ type snapshotJSON struct {
 	TotalDDFs     int      `json:"ddfs"`
 	OpOpDDFs      int      `json:"ddfs_op_op"`
 	LdOpDDFs      int      `json:"ddfs_ld_op"`
+	UnavailEvents int      `json:"unavail,omitempty"`
 	GroupsWithDDF int      `json:"groups_with_ddf"`
 	P             float64  `json:"p"`
 	CILo          float64  `json:"ci_lo"`
@@ -84,6 +88,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		TotalDDFs:     s.TotalDDFs,
 		OpOpDDFs:      s.OpOpDDFs,
 		LdOpDDFs:      s.LdOpDDFs,
+		UnavailEvents: s.UnavailEvents,
 		GroupsWithDDF: s.GroupsWithDDF,
 		P:             phat(s),
 		CILo:          s.CI.Lo,
@@ -125,6 +130,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 		TotalDDFs:     doc.TotalDDFs,
 		OpOpDDFs:      doc.OpOpDDFs,
 		LdOpDDFs:      doc.LdOpDDFs,
+		UnavailEvents: doc.UnavailEvents,
 		GroupsWithDDF: doc.GroupsWithDDF,
 		CI:            stats.Interval{Lo: doc.CILo, Hi: doc.CIHi, Level: doc.Confidence},
 		RelErr:        math.Inf(1),
@@ -198,6 +204,7 @@ func report(spec Spec, res *Result, start time.Time, done bool) {
 		s.TotalDDFs = res.Run.TotalDDFs
 		s.OpOpDDFs = res.Run.OpOpDDFs
 		s.LdOpDDFs = res.Run.LdOpDDFs
+		s.UnavailEvents = res.Run.UnavailEvents
 	}
 	if secs := res.Elapsed.Seconds(); secs > 0 && res.Iterations > res.ResumedFrom {
 		s.Rate = float64(res.Iterations-res.ResumedFrom) / secs
@@ -256,12 +263,12 @@ func WriterProgress(w io.Writer) Progress {
 			fmt.Fprintf(w, "campaign: done (%s): %d iterations in %d batches, %s: %d DDFs (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s%s\n",
 				s.Reason, s.Iterations, s.Batches, s.Elapsed.Round(time.Millisecond),
 				s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs,
-				phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s)+vrString(s))
+				phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s)+vrString(s)+unavailString(s))
 			return
 		}
 		fmt.Fprintf(w, "campaign: %d iters (%.0f/s) ddf=%d (%d op+op, %d ld+op) p=%.3g ci%.0f=[%.3g, %.3g] relerr=%s%s eta=%s\n",
 			s.Iterations, s.Rate, s.TotalDDFs, s.OpOpDDFs, s.LdOpDDFs,
-			phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s)+vrString(s), etaString(s.ETA))
+			phat(s), s.CI.Level*100, s.CI.Lo, s.CI.Hi, relErrString(s.RelErr), essString(s)+vrString(s)+unavailString(s), etaString(s.ETA))
 	})
 }
 
@@ -296,6 +303,13 @@ func phat(s Snapshot) float64 {
 func vrString(s Snapshot) string {
 	if s.VRFactor > 0 {
 		return fmt.Sprintf(" vr=%.2gx", s.VRFactor)
+	}
+	return ""
+}
+
+func unavailString(s Snapshot) string {
+	if s.UnavailEvents > 0 {
+		return fmt.Sprintf(" unavail=%d", s.UnavailEvents)
 	}
 	return ""
 }

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"raidrel/internal/analytic"
@@ -30,6 +31,130 @@ type WeibullSpec struct {
 // Dist materializes the spec.
 func (s WeibullSpec) Dist() (dist.Weibull, error) {
 	return dist.NewWeibull(s.Shape, s.Scale, s.Location)
+}
+
+// ComponentSpec describes one shared hardware component of the group — an
+// enclosure, expander, or controller whose failure makes every drive
+// behind it inaccessible at once (without destroying the data on them).
+type ComponentSpec struct {
+	// Name identifies the component; it must be unique within the topology.
+	Name string `json:"name"`
+	// Parent optionally names the component this one sits behind, forming a
+	// tree: a parent's outage takes down its whole subtree, so a parent's
+	// effective drive cover is its own Drives plus every descendant's.
+	Parent string `json:"parent,omitempty"`
+	// Drives lists the drive slots directly attached to this component.
+	Drives []int `json:"drives,omitempty"`
+	// Paths is the number of redundant instances (dual porting, paired
+	// expanders); the component is only down while every instance is down.
+	// Zero means one path.
+	Paths int `json:"paths,omitempty"`
+	// TTOp is the per-instance time-to-failure distribution.
+	TTOp WeibullSpec `json:"tt_op"`
+	// TTR is the per-instance repair-time distribution.
+	TTR WeibullSpec `json:"ttr"`
+}
+
+// TopologySpec is the JSON form of the component topology: the shared
+// failure domains above the drives. Nil (or an empty component list) is
+// the flat, drives-only model of the paper.
+type TopologySpec struct {
+	Components []ComponentSpec `json:"components"`
+}
+
+// lower resolves the component tree — effective drive cover = own drives
+// plus every descendant's — and materializes the engine topology. A nil or
+// empty spec lowers to nil (flat).
+func (t *TopologySpec) lower() (*sim.Topology, error) {
+	if t == nil || len(t.Components) == 0 {
+		return nil, nil
+	}
+	idx := make(map[string]int, len(t.Components))
+	for i, c := range t.Components {
+		if c.Name == "" {
+			return nil, fmt.Errorf("core: topology component %d has no name", i)
+		}
+		if _, dup := idx[c.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate topology component %q", c.Name)
+		}
+		idx[c.Name] = i
+	}
+	children := make([][]int, len(t.Components))
+	for i, c := range t.Components {
+		if c.Parent == "" {
+			continue
+		}
+		p, ok := idx[c.Parent]
+		if !ok {
+			return nil, fmt.Errorf("core: component %q names unknown parent %q", c.Name, c.Parent)
+		}
+		children[p] = append(children[p], i)
+	}
+
+	// Depth-first effective covers with cycle detection; the set semantics
+	// deduplicate a slot reachable through several children.
+	const (
+		unvisited = 0
+		visiting  = 1
+		doneMark  = 2
+	)
+	state := make([]int, len(t.Components))
+	covers := make([]map[int]bool, len(t.Components))
+	var cover func(i int) (map[int]bool, error)
+	cover = func(i int) (map[int]bool, error) {
+		switch state[i] {
+		case visiting:
+			return nil, fmt.Errorf("core: topology parent cycle through component %q", t.Components[i].Name)
+		case doneMark:
+			return covers[i], nil
+		}
+		state[i] = visiting
+		set := make(map[int]bool)
+		for _, d := range t.Components[i].Drives {
+			set[d] = true
+		}
+		for _, ch := range children[i] {
+			sub, err := cover(ch)
+			if err != nil {
+				return nil, err
+			}
+			for d := range sub {
+				set[d] = true
+			}
+		}
+		state[i] = doneMark
+		covers[i] = set
+		return set, nil
+	}
+
+	out := &sim.Topology{Components: make([]sim.Component, len(t.Components))}
+	for i, c := range t.Components {
+		set, err := cover(i)
+		if err != nil {
+			return nil, err
+		}
+		drives := make([]int, 0, len(set))
+		for d := range set {
+			drives = append(drives, d)
+		}
+		sort.Ints(drives)
+		ttop, err := c.TTOp.Dist()
+		if err != nil {
+			return nil, fmt.Errorf("core: component %q TTOp: %w", c.Name, err)
+		}
+		ttr, err := c.TTR.Dist()
+		if err != nil {
+			return nil, fmt.Errorf("core: component %q TTR: %w", c.Name, err)
+		}
+		out.Components[i] = sim.Component{
+			Name:   c.Name,
+			Drives: drives,
+			Paths:  c.Paths,
+			TTOp:   ttop,
+			TTR:    ttr,
+		}
+	}
+	return out, nil
 }
 
 // Params is the full parameterization of one study — the programmatic form
@@ -69,6 +194,14 @@ type Params struct {
 	// Spares optionally bounds the spare-drive pool (the paper assumes a
 	// spare is always available); nil keeps that assumption.
 	Spares *sim.SparePolicy `json:"spares,omitempty"`
+
+	// Topology optionally describes the shared hardware components —
+	// enclosures, expanders, controllers — the drives sit behind. A
+	// component outage makes its drives inaccessible (recoverable on
+	// repair, distinct from data loss) and pauses their rebuilds; nil is
+	// the flat drives-only model. Coupled topologies run on the event
+	// engine only.
+	Topology *TopologySpec `json:"topology,omitempty"`
 
 	// Bias optionally enables failure-biased importance sampling: hazards
 	// are scaled up by the given factors during sampling and every
@@ -202,6 +335,10 @@ func (p Params) simConfig() (sim.Config, error) {
 			trans.TTScrub = scrub
 		}
 	}
+	topo, err := p.Topology.lower()
+	if err != nil {
+		return sim.Config{}, err
+	}
 	cfg := sim.Config{
 		Drives:     p.GroupSize,
 		Redundancy: p.Redundancy,
@@ -210,6 +347,7 @@ func (p Params) simConfig() (sim.Config, error) {
 		Spares:     p.Spares,
 		Bias:       p.Bias,
 		VR:         p.VR,
+		Topology:   topo,
 	}
 	if len(p.SlotTTOp) > 0 {
 		if len(p.SlotTTOp) != p.GroupSize {
@@ -430,6 +568,22 @@ func (r *Result) ROCOF(window float64) ([]stats.ROCOFPoint, error) {
 // quantity tabulated in Table 3.
 func (r *Result) FirstYearDDFsPer1000() float64 {
 	return r.DDFsPer1000GroupsAt(analytic.HoursPerYear)
+}
+
+// UnavailPer1000Groups returns the expected unavailability onsets per
+// 1,000 RAID groups over the mission — episodes where a shared-component
+// outage pushed the group past its redundancy without losing data. The
+// count is importance-weighted like CauseBreakdown; zero for flat
+// topologies.
+func (r *Result) UnavailPer1000Groups() float64 {
+	return r.Raw.WeightedUnavailTotal() * 1000 / float64(r.Groups)
+}
+
+// GroupUnavailProbability returns the fraction of simulated groups that
+// experienced at least one unavailability episode; zero for flat
+// topologies.
+func (r *Result) GroupUnavailProbability() float64 {
+	return float64(r.Raw.GroupsWithUnavail()) / float64(r.Groups)
 }
 
 // CauseBreakdown returns the OpOp and LdOp counts per 1,000 groups over

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
+	"raidrel/internal/sim"
 	"raidrel/internal/stats"
 )
 
@@ -316,5 +319,157 @@ func TestRunRejectsBadIterations(t *testing.T) {
 	}
 	if _, err := m.Run(0, 1); err == nil {
 		t.Error("zero iterations accepted")
+	}
+}
+
+func topoParams() Params {
+	return Params{
+		GroupSize:    8,
+		Redundancy:   1,
+		MissionHours: 87600,
+		TTOp:         WeibullSpec{Scale: 100000, Shape: 1},
+		TTR:          WeibullSpec{Scale: 100, Shape: 1},
+		Topology: &TopologySpec{Components: []ComponentSpec{
+			{Name: "enclosure", Drives: []int{6, 7},
+				TTOp: WeibullSpec{Scale: 200000, Shape: 1}, TTR: WeibullSpec{Scale: 500, Shape: 1}},
+			{Name: "expander-a", Parent: "enclosure", Drives: []int{0, 1, 2}, Paths: 2,
+				TTOp: WeibullSpec{Scale: 150000, Shape: 1}, TTR: WeibullSpec{Scale: 300, Shape: 1}},
+			{Name: "expander-b", Parent: "enclosure", Drives: []int{3, 4, 5},
+				TTOp: WeibullSpec{Scale: 150000, Shape: 1}, TTR: WeibullSpec{Scale: 300, Shape: 1}},
+		}},
+	}
+}
+
+// The component tree resolves to effective drive covers: a parent covers
+// its own slots plus every descendant's.
+func TestTopologySpecTreeResolution(t *testing.T) {
+	m, err := New(topoParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := m.SimConfig().Topology
+	if topo == nil || len(topo.Components) != 3 {
+		t.Fatalf("topology = %+v", topo)
+	}
+	wantDrives := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7}, // enclosure: own 6,7 + both expander subtrees
+		{0, 1, 2},
+		{3, 4, 5},
+	}
+	for i, c := range topo.Components {
+		if len(c.Drives) != len(wantDrives[i]) {
+			t.Fatalf("component %s covers %v, want %v", c.Name, c.Drives, wantDrives[i])
+		}
+		for j := range c.Drives {
+			if c.Drives[j] != wantDrives[i][j] {
+				t.Fatalf("component %s covers %v, want %v", c.Name, c.Drives, wantDrives[i])
+			}
+		}
+	}
+	if topo.Components[1].Paths != 2 {
+		t.Errorf("expander-a paths = %d, want 2", topo.Components[1].Paths)
+	}
+}
+
+func TestTopologySpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		want string
+	}{
+		{"unknown parent", func(p *Params) { p.Topology.Components[1].Parent = "nope" }, "unknown parent"},
+		{"self cycle", func(p *Params) { p.Topology.Components[0].Parent = "enclosure" }, "cycle"},
+		{"two cycle", func(p *Params) { p.Topology.Components[0].Parent = "expander-a" }, "cycle"},
+		{"dup name", func(p *Params) { p.Topology.Components[2].Name = "expander-a" }, "duplicate"},
+		{"no name", func(p *Params) { p.Topology.Components[0].Name = "" }, "no name"},
+		{"slot range", func(p *Params) { p.Topology.Components[0].Drives = []int{11} }, "outside the group"},
+		{"bad dist", func(p *Params) { p.Topology.Components[0].TTOp = WeibullSpec{} }, "TTOp"},
+	}
+	for _, tc := range cases {
+		p := topoParams()
+		tc.mut(&p)
+		_, err := New(p)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Coupled topologies cannot combine with per-slot engine features.
+	p := topoParams()
+	p.VR = sim.VR{Antithetic: true}
+	if _, err := New(p); err == nil {
+		t.Error("vr+topology accepted")
+	}
+}
+
+// The JSON wire form round-trips, including the optional tree and paths
+// fields, in the snake_case the service API uses.
+func TestTopologySpecJSONRoundTrip(t *testing.T) {
+	p := topoParams()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"topology"`, `"components"`, `"parent":"enclosure"`, `"paths":2`, `"tt_op"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("wire form misses %s: %s", want, data)
+		}
+	}
+	var back Params
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Topology == nil || len(back.Topology.Components) != 3 {
+		t.Fatalf("round trip lost the topology: %+v", back.Topology)
+	}
+	if _, err := New(back); err != nil {
+		t.Fatalf("round-tripped params invalid: %v", err)
+	}
+
+	// Flat params keep their legacy wire form: no topology key at all.
+	flat := topoParams()
+	flat.Topology = nil
+	data, err = json.Marshal(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "topology") {
+		t.Errorf("flat params leak a topology key: %s", data)
+	}
+}
+
+// A coupled model runs end-to-end through Model.Run and surfaces the
+// unavailability statistics next to (but never inside) the loss curve.
+func TestModelRunWithTopologyUnavailability(t *testing.T) {
+	p := Params{
+		GroupSize:    4,
+		Redundancy:   1,
+		MissionHours: 20000,
+		TTOp:         WeibullSpec{Scale: 1e9, Shape: 1}, // drives effectively never fail
+		TTR:          WeibullSpec{Scale: 100, Shape: 1},
+		Topology: &TopologySpec{Components: []ComponentSpec{
+			{Name: "enclosure", Drives: []int{0, 1, 2, 3},
+				TTOp: WeibullSpec{Scale: 10000, Shape: 1}, TTR: WeibullSpec{Scale: 1000, Shape: 1}},
+		}},
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raw.TotalDDFs != 0 {
+		t.Errorf("losses with drives disabled: %d", res.Raw.TotalDDFs)
+	}
+	if got := res.DDFsPer1000GroupsAt(p.MissionHours); got != 0 {
+		t.Errorf("loss curve contaminated by unavailability: %v", got)
+	}
+	if res.GroupUnavailProbability() <= 0 || res.GroupUnavailProbability() > 1 {
+		t.Errorf("P(unavail) = %v", res.GroupUnavailProbability())
+	}
+	if res.UnavailPer1000Groups() <= 0 {
+		t.Errorf("unavail per 1000 = %v", res.UnavailPer1000Groups())
 	}
 }

@@ -202,6 +202,42 @@ func TestGroupSizeSweep(t *testing.T) {
 	}
 }
 
+// The topology sweep's design ordering is its whole point: a flat group
+// has no unavailability at all, a single shared expander has lots, and
+// spending the same two path instances on redundancy (one dual-pathed
+// expander, or two dual-pathed enclosures) collapses the episode rate by
+// orders of magnitude without touching the RAID redundancy.
+func TestTopologySweep(t *testing.T) {
+	rows, err := TopologySweep(Options{Iterations: 2000, Seed: 7, CurvePoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	flat, shared, dual, split := rows[0], rows[1], rows[2], rows[3]
+	if flat.Unavail != 0 || flat.PUnavail != 0 {
+		t.Errorf("flat design reports unavailability: %+v", flat)
+	}
+	if shared.PUnavail < 0.2 {
+		t.Errorf("shared expander barely unavailable (p=%v); rates too cold to test anything", shared.PUnavail)
+	}
+	for _, redundant := range []TopologyRow{dual, split} {
+		if redundant.Unavail >= shared.Unavail/10 {
+			t.Errorf("%s: %v onsets/1000 not far below shared expander's %v",
+				redundant.Design, redundant.Unavail, shared.Unavail)
+		}
+	}
+	// Data-loss risk is dominated by the drives in every design; the
+	// component layer must not multiply it (pauses stretch the exposure
+	// window only while a component is actually down).
+	for _, r := range rows[1:] {
+		if r.DDFs > 2*flat.DDFs {
+			t.Errorf("%s: DDFs %v wildly above flat %v", r.Design, r.DDFs, flat.DDFs)
+		}
+	}
+}
+
 // Table 3: ratios must reproduce the paper's ordering and magnitudes —
 // no-scrub in the thousands, 168-h scrub in the hundreds, faster scrubs
 // lower, everything far above 1.

@@ -1,0 +1,144 @@
+package markov
+
+import "fmt"
+
+// NewComponentPathChain builds the constant-rate chain of one shared
+// component with `paths` redundant instances (dual porting, paired
+// expanders): state k is "k instances failed", each up instance fails at
+// rate lambda, each down instance is repaired (independent crews) at rate
+// mu, and the all-paths-down state is absorbing. Its absorption
+// probability from state 0 over the mission is the probability the
+// component — and therefore every drive it carries — goes dark at least
+// once, which for a component covering more slots than the group's
+// redundancy is exactly the simulator's first-unavailability probability.
+func NewComponentPathChain(paths int, lambda, mu float64) (*Chain, error) {
+	if paths < 1 {
+		return nil, fmt.Errorf("markov: component path chain needs >= 1 path, got %d", paths)
+	}
+	labels := make([]string, paths+1)
+	for k := range labels {
+		labels[k] = fmt.Sprintf("%d-down", k)
+	}
+	c, err := New(paths+1, labels)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < paths; k++ {
+		if err := c.AddRate(k, k+1, float64(paths-k)*lambda); err != nil {
+			return nil, err
+		}
+		if k > 0 {
+			if err := c.AddRate(k, k-1, float64(k)*mu); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.SetAbsorbing(paths); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewParallelRepairChain builds the general m-of-n birth–death data-loss
+// chain with concurrent repairs: state k is "k drives failed", live drives
+// fail at (m-k)·lambda, every failed drive rebuilds on its own crew so
+// the repair rate is k·mu, and redundancy+1 concurrent failures are
+// absorbing. Unlike NewDoubleParityChain's single repair crew, this chain
+// is exact for the simulator's per-slot restore process when every
+// distribution is exponential, so low-rate cross-validation can use tight
+// statistical tolerances instead of a directional allowance.
+func NewParallelRepairChain(totalDrives, redundancy int, lambda, mu float64) (*Chain, error) {
+	if redundancy < 1 {
+		return nil, fmt.Errorf("markov: parallel-repair chain needs redundancy >= 1, got %d", redundancy)
+	}
+	if totalDrives <= redundancy {
+		return nil, fmt.Errorf("markov: parallel-repair chain needs more than %d drives, got %d", redundancy, totalDrives)
+	}
+	loss := redundancy + 1
+	labels := make([]string, loss+1)
+	for k := 0; k < loss; k++ {
+		labels[k] = fmt.Sprintf("%d-down", k)
+	}
+	labels[loss] = "data-loss"
+	c, err := New(loss+1, labels)
+	if err != nil {
+		return nil, err
+	}
+	m := float64(totalDrives)
+	for k := 0; k < loss; k++ {
+		if err := c.AddRate(k, k+1, (m-float64(k))*lambda); err != nil {
+			return nil, err
+		}
+		if k > 0 {
+			if err := c.AddRate(k, k-1, float64(k)*mu); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.SetAbsorbing(loss); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// State indices for the shared-component data-loss chain.
+const (
+	// SCAllGoodUp: no drive failed, component up.
+	SCAllGoodUp = 0
+	// SCDegradedUp: one drive rebuilding, component up.
+	SCDegradedUp = 1
+	// SCAllGoodDown: no drive failed, component down (group unavailable).
+	SCAllGoodDown = 2
+	// SCDegradedDown: one drive failed, component down — the rebuild makes
+	// no progress while the drives are inaccessible, so there is no repair
+	// transition out of this state until the component comes back.
+	SCDegradedDown = 3
+	// SCDataLoss: a second drive failed while one was down (absorbing).
+	SCDataLoss = 4
+)
+
+// NewSharedComponentChain builds the constant-rate data-loss chain of an
+// N+1 group (n data drives, redundancy 1) whose every drive sits behind
+// one single-path shared component: drives fail at rate lambda and are
+// repaired at rate mu, the component fails at rate lambdaC and is
+// repaired at rate muC, and — the coupling — a drive rebuild is paused
+// while the component is down. Because the simulator's paused rebuild
+// resumes with its remaining exponential repair time, memorylessness
+// makes this chain exact for the simulated model (exponential everywhere,
+// no latent defects): its absorption probability from SCAllGoodUp over
+// the mission equals the simulated P(at least one DDF).
+//
+// Drive failures keep occurring while the component is down (the platters
+// spin; the data is inaccessible, not gone), which is why the down states
+// still advance toward SCDataLoss.
+func NewSharedComponentChain(n int, lambda, mu, lambdaC, muC float64) (*Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("markov: shared-component chain needs data drives N >= 1, got %d", n)
+	}
+	c, err := New(5, []string{"all-good/up", "degraded/up", "all-good/down", "degraded/down", "data-loss"})
+	if err != nil {
+		return nil, err
+	}
+	total := float64(n + 1)
+	add := func(i, j int, rate float64) {
+		if err == nil {
+			err = c.AddRate(i, j, rate)
+		}
+	}
+	add(SCAllGoodUp, SCDegradedUp, total*lambda)
+	add(SCAllGoodUp, SCAllGoodDown, lambdaC)
+	add(SCDegradedUp, SCAllGoodUp, mu)
+	add(SCDegradedUp, SCDataLoss, float64(n)*lambda)
+	add(SCDegradedUp, SCDegradedDown, lambdaC)
+	add(SCAllGoodDown, SCAllGoodUp, muC)
+	add(SCAllGoodDown, SCDegradedDown, total*lambda)
+	add(SCDegradedDown, SCDegradedUp, muC) // component repaired; rebuild resumes
+	add(SCDegradedDown, SCDataLoss, float64(n)*lambda)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetAbsorbing(SCDataLoss); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

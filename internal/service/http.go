@@ -96,28 +96,35 @@ type eventDoc struct {
 
 // resultDoc is the wire view of a finished campaign.
 type resultDoc struct {
-	ID            string     `json:"id"`
-	Fingerprint   string     `json:"fingerprint"`
-	Iterations    int        `json:"iterations"`
-	ResumedFrom   int        `json:"resumed_from,omitempty"`
-	Batches       int        `json:"batches,omitempty"`
-	GroupsWithDDF int        `json:"groups_with_ddf"`
-	TotalDDFs     int        `json:"ddfs"`
-	OpOpDDFs      int        `json:"ddfs_op_op"`
-	LdOpDDFs      int        `json:"ddfs_ld_op"`
-	P             float64    `json:"p"`
-	CILo          float64    `json:"ci_lo"`
-	CIHi          float64    `json:"ci_hi"`
-	Confidence    float64    `json:"confidence"`
-	RelErr        *float64   `json:"rel_err,omitempty"`
-	ESS           float64    `json:"ess,omitempty"`
-	VRPairs       int        `json:"vr_pairs,omitempty"`
-	VRCoeff       float64    `json:"vr_coeff,omitempty"`
-	VRFactor      float64    `json:"vr_factor,omitempty"`
-	DDFsPer1000   float64    `json:"ddfs_per_1000_groups"`
-	Reason        string     `json:"reason"`
-	ElapsedS      float64    `json:"elapsed_s"`
-	Events        []eventDoc `json:"events"`
+	ID            string `json:"id"`
+	Fingerprint   string `json:"fingerprint"`
+	Iterations    int    `json:"iterations"`
+	ResumedFrom   int    `json:"resumed_from,omitempty"`
+	Batches       int    `json:"batches,omitempty"`
+	GroupsWithDDF int    `json:"groups_with_ddf"`
+	TotalDDFs     int    `json:"ddfs"`
+	OpOpDDFs      int    `json:"ddfs_op_op"`
+	LdOpDDFs      int    `json:"ddfs_ld_op"`
+	// Unavailability statistics of coupled-topology campaigns: onset
+	// events, groups with at least one episode, and the onset rate per
+	// 1,000 groups. All omitted for flat campaigns, keeping the legacy
+	// wire form byte-identical.
+	UnavailEvents     int        `json:"unavail,omitempty"`
+	GroupsWithUnavail int        `json:"groups_with_unavail,omitempty"`
+	UnavailPer1000    float64    `json:"unavail_per_1000_groups,omitempty"`
+	P                 float64    `json:"p"`
+	CILo              float64    `json:"ci_lo"`
+	CIHi              float64    `json:"ci_hi"`
+	Confidence        float64    `json:"confidence"`
+	RelErr            *float64   `json:"rel_err,omitempty"`
+	ESS               float64    `json:"ess,omitempty"`
+	VRPairs           int        `json:"vr_pairs,omitempty"`
+	VRCoeff           float64    `json:"vr_coeff,omitempty"`
+	VRFactor          float64    `json:"vr_factor,omitempty"`
+	DDFsPer1000       float64    `json:"ddfs_per_1000_groups"`
+	Reason            string     `json:"reason"`
+	ElapsedS          float64    `json:"elapsed_s"`
+	Events            []eventDoc `json:"events"`
 }
 
 func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
@@ -156,9 +163,12 @@ func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
 		doc.TotalDDFs = run.TotalDDFs
 		doc.OpOpDDFs = run.OpOpDDFs
 		doc.LdOpDDFs = run.LdOpDDFs
+		doc.UnavailEvents = run.UnavailEvents
+		doc.GroupsWithUnavail = run.GroupsWithUnavail()
 		if res.Iterations > 0 {
 			total, _, _ := run.WeightedCauseTotals()
 			doc.DDFsPer1000 = total * 1000 / float64(res.Iterations)
+			doc.UnavailPer1000 = run.WeightedUnavailTotal() * 1000 / float64(res.Iterations)
 		}
 		doc.Events = make([]eventDoc, 0, len(run.Events))
 		for _, e := range run.Events {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"raidrel/internal/campaign"
+	"raidrel/internal/core"
+	"raidrel/internal/markov"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
@@ -359,5 +362,101 @@ func TestHTTPHealth(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// A coupled enclosure topology exercised end-to-end: submitted over HTTP,
+// simulated on the event engine, served back with unavailability fields —
+// and both the data-loss and unavailability estimates agree with the
+// component Markov chains (exact for this all-exponential scenario).
+func TestHTTPTopologyJobMatchesComponentChains(t *testing.T) {
+	const (
+		lambda  = 2e-5 // drive failures, MTBF 50,000 h
+		mu      = 5e-3 // drive rebuild, 200 h
+		lambdaC = 5e-5 // enclosure failures, MTBF 20,000 h
+		muC     = 5e-4 // enclosure repair, 2,000 h — long outages
+		horizon = 87600.0
+		iters   = 8000
+	)
+	_, ts := newTestServer(t, Options{MaxConcurrent: 2, Workers: 4})
+	spec := JobSpec{
+		Params: core.Params{
+			GroupSize:    8,
+			Redundancy:   1,
+			MissionHours: horizon,
+			TTOp:         core.WeibullSpec{Scale: 1 / lambda, Shape: 1},
+			TTR:          core.WeibullSpec{Scale: 1 / mu, Shape: 1},
+			Topology: &core.TopologySpec{Components: []core.ComponentSpec{{
+				Name:   "enclosure",
+				Drives: []int{0, 1, 2, 3, 4, 5, 6, 7},
+				TTOp:   core.WeibullSpec{Scale: 1 / lambdaC, Shape: 1},
+				TTR:    core.WeibullSpec{Scale: 1 / muC, Shape: 1},
+			}}},
+		},
+		Seed:       4242,
+		Iterations: iters,
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var doc jobDoc
+	decodeJSON(t, resp, &doc)
+	waitHTTPDone(t, ts.URL, doc.ID)
+
+	var res resultDoc
+	getJSON(t, ts.URL+"/v1/jobs/"+doc.ID+"/result", http.StatusOK, &res)
+	if res.Iterations != iters {
+		t.Fatalf("result doc: %+v", res)
+	}
+	if res.UnavailEvents == 0 || res.GroupsWithUnavail == 0 || res.UnavailPer1000 <= 0 {
+		t.Fatalf("unavailability fields missing from the wire form: %+v", res)
+	}
+
+	// Data loss vs the shared-component chain (rebuilds pause during the
+	// outage; exact for exponential rates).
+	loss, err := markov.NewSharedComponentChain(7, lambda, mu, lambdaC, muC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoss, err := loss.AbsorptionProbability(markov.SCAllGoodUp, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLoss := float64(res.GroupsWithDDF) / float64(res.Iterations)
+	if se := math.Sqrt(wantLoss * (1 - wantLoss) / iters); math.Abs(gotLoss-wantLoss) > 4*se {
+		t.Errorf("P(loss) = %v, shared-component chain says %v (±%v)", gotLoss, wantLoss, 4*se)
+	}
+
+	// Unavailability vs the component path chain: the enclosure covers the
+	// whole group, so P(>=1 episode) is its first-outage probability.
+	avail, err := markov.NewComponentPathChain(1, lambdaC, muC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUn, err := avail.AbsorptionProbability(0, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotUn := float64(res.GroupsWithUnavail) / float64(res.Iterations)
+	if se := math.Sqrt(wantUn * (1 - wantUn) / iters); math.Abs(gotUn-wantUn) > 4*se {
+		t.Errorf("P(unavail) = %v, path chain says %v (±%v)", gotUn, wantUn, 4*se)
+	}
+
+	// The served events include the onsets with cause 3, and they never
+	// leak into the loss counters.
+	unavail := 0
+	for _, e := range res.Events {
+		if e.Cause == 3 {
+			unavail++
+		}
+	}
+	if unavail != res.UnavailEvents {
+		t.Errorf("wire events carry %d onsets, counter says %d", unavail, res.UnavailEvents)
+	}
+	if res.TotalDDFs+res.UnavailEvents != len(res.Events) {
+		t.Errorf("event counts inconsistent: %d loss + %d unavail != %d events",
+			res.TotalDDFs, res.UnavailEvents, len(res.Events))
 	}
 }

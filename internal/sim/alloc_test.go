@@ -79,6 +79,61 @@ func TestSimulateIntoZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSimulateIntoZeroAllocCoupled extends the zero-allocation contract to
+// the topology layer: with a coupled component tree attached — components
+// actually failing, pausing rebuilds, and emitting unavailability onsets —
+// a warm event-engine chronology whose events fit the reused buffer must
+// still not touch the heap. All of topoScratch's state is pooled slices.
+func TestSimulateIntoZeroAllocCoupled(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	cfg := paperBaseConfig()
+	// Hot enough that component failures and unavailability onsets are
+	// routine, so the measured path includes compFail/compRestore, the
+	// pause bookkeeping, and onset appends — not just the idle check.
+	cfg.Topology = &Topology{Components: []Component{
+		{Name: "enclosure", Drives: []int{0, 1, 2, 3, 4, 5, 6, 7},
+			TTOp: dist.MustExponential(1e-4), TTR: dist.MustExponential(1e-3)},
+		{Name: "expander", Drives: []int{0, 1, 2, 3}, Paths: 2,
+			TTOp: dist.MustExponential(1e-4), TTR: dist.MustExponential(1e-2)},
+	}}
+	eng := EventEngine{}
+	var (
+		r   rng.RNG
+		buf []DDF
+		err error
+	)
+	// Warm the pools and the buffer capacity, and pick a stream that did
+	// produce unavailability onsets so the measurement is not vacuous.
+	stream, found := uint64(0), false
+	for s := uint64(0); s < 100; s++ {
+		r.SeedStream(1, s)
+		buf, _, err = eng.SimulateInto(cfg, &r, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range buf {
+			if d.Cause == CauseUnavail {
+				stream, found = s, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no unavailability onsets in 100 coupled streams; alloc test is vacuous")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		r.SeedStream(1, stream)
+		buf, _, err = eng.SimulateInto(cfg, &r, buf[:0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("warm coupled SimulateInto allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
 // TestRunSparseMemoryFootprint is the O(events)-not-O(iterations)
 // regression guard: a 1M-iteration base-case run must allocate far less
 // than the dense PerGroup representation's 24 MB of slice headers alone.

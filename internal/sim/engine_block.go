@@ -216,7 +216,10 @@ var blockScratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
 // released.
 func (sc *blockScratch) prep(cfg *Config) error {
 	if cfg.Spares != nil {
-		return fmt.Errorf("sim: the block engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
+		return errUnsupported("block", "a finite spare pool")
+	}
+	if cfg.Topology.Coupled() {
+		return errUnsupported("block", "a coupled component topology")
 	}
 	sc.kern.compile(cfg)
 	if err := sc.checkCompiled(cfg); err != nil {

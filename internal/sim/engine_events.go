@@ -80,6 +80,9 @@ type eventSim struct {
 	seq, defectID int64
 	suppressUntil float64
 	ddfs          []DDF
+	// tp holds the compiled component topology; tp.topo stays nil for
+	// flat configurations, which then take none of the coupled branches.
+	tp topoScratch
 	// logW accumulates the iteration's importance-sampling log
 	// likelihood ratio; stays exactly 0 when cfg.Bias is disabled.
 	logW float64
@@ -129,6 +132,7 @@ func (s *eventSim) release() {
 	s.cfg = Config{}
 	s.r, s.obs, s.spares, s.ddfs = nil, nil, nil, nil
 	s.kern.release()
+	s.tp.release()
 }
 
 func (s *eventSim) emit(e TraceEvent) {
@@ -191,11 +195,21 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 	s.seq, s.defectID, s.suppressUntil = 0, 0, 0
 	s.logW = 0
 	s.spares = newSparePool(cfg.Spares) // nil (no allocation) for the default infinite pool
+	s.tp.attach(&cfg)
 	s.ddfs = buf
 
 	for i := 0; i < cfg.Drives; i++ {
 		s.scheduleOpFail(i, 0)
 		s.scheduleDefect(i, 0)
+	}
+	if s.tp.topo != nil {
+		// Component path instances schedule after every drive slot, so the
+		// drive draws (and their stream positions) match the flat model's
+		// exactly; component draws are never tilted under bias.
+		for inst := range s.tp.instComp {
+			c := s.tp.instComp[inst]
+			s.push(s.tp.ttopK[c].Draw(r), evCompFail, int32(inst), 0, 0, 0)
+		}
 	}
 
 	for s.q.Len() > 0 {
@@ -204,6 +218,11 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			break
 		}
 		evSlot := int(ev.slot)
+		if ev.kind == evCompFail || ev.kind == evCompRestore {
+			// Component events index path instances, not drive slots.
+			s.handleComp(ev)
+			continue
+		}
 		sl := &s.slots[evSlot]
 		switch ev.kind {
 		case evOpFail:
@@ -241,32 +260,60 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			sl.gen++
 			sl.defects = sl.defects[:0]
 			// With a finite pool the rebuild waits for a spare to arrive.
-			sl.restoreEnd = s.spares.rebuildStart(ev.time) + s.kern.ttr.Draw(r)
-			s.push(sl.restoreEnd, evOpRestore, ev.slot, sl.gen, 0, 0)
+			rebuildFrom := s.spares.rebuildStart(ev.time)
+			ttr := s.kern.ttr.Draw(r)
+			if s.tp.topo != nil && s.tp.inacc[evSlot] > 0 {
+				// The slot is inaccessible: the rebuild is held (full TTR
+				// pending) until a covering component repair restores
+				// access. The TTR is drawn regardless, keeping the stream
+				// positions of every later draw unchanged.
+				s.tp.paused[evSlot] = true
+				s.tp.pending[evSlot] = ttr
+				sl.restoreEnd = math.Inf(1)
+			} else {
+				sl.restoreEnd = rebuildFrom + ttr
+				s.push(sl.restoreEnd, evOpRestore, ev.slot, sl.gen, s.restoreSeq(evSlot), 0)
+			}
 			s.scheduleDefect(evSlot, ev.time)
 
-			if ev.time < s.suppressUntil {
-				// A DDF is already outstanding; no new one until restored.
-				continue
+			lossRecorded := false
+			if ev.time >= s.suppressUntil {
+				losses := failedOthers
+				hasDefect := defectSlot >= 0
+				switch {
+				case losses >= cfg.Redundancy:
+					s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseOpOp})
+					s.suppressUntil = sl.restoreEnd
+					s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: evSlot, Cause: CauseOpOp})
+					lossRecorded = true
+				case losses == cfg.Redundancy-1 && hasDefect:
+					s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseLdOp})
+					s.suppressUntil = sl.restoreEnd
+					s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: evSlot, Cause: CauseLdOp})
+					lossRecorded = true
+					// The defective drive is repaired together with the failed
+					// one: its pre-existing defects clear at the same restore.
+					// (If the failed slot's rebuild is held by a component
+					// outage, restoreEnd is +Inf and the concomitant repair is
+					// skipped — the defect waits for its natural scrub.)
+					s.push(sl.restoreEnd, evTruncateDefects, int32(defectSlot), s.slots[defectSlot].gen, 0, ev.time)
+				}
+				if lossRecorded && s.tp.topo != nil {
+					s.tp.suppressSlot = evSlot
+				}
 			}
-			losses := failedOthers
-			hasDefect := defectSlot >= 0
-			switch {
-			case losses >= cfg.Redundancy:
-				s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseOpOp})
-				s.suppressUntil = sl.restoreEnd
-				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: evSlot, Cause: CauseOpOp})
-			case losses == cfg.Redundancy-1 && hasDefect:
-				s.ddfs = append(s.ddfs, DDF{Time: ev.time, Cause: CauseLdOp})
-				s.suppressUntil = sl.restoreEnd
-				s.emit(TraceEvent{Time: ev.time, Kind: TraceDDF, Slot: evSlot, Cause: CauseLdOp})
-				// The defective drive is repaired together with the failed
-				// one: its pre-existing defects clear at the same restore.
-				s.push(sl.restoreEnd, evTruncateDefects, int32(defectSlot), s.slots[defectSlot].gen, 0, ev.time)
+			if s.tp.topo != nil {
+				s.noteAvail(ev.time, lossRecorded)
 			}
 
 		case evOpRestore:
 			if ev.gen != sl.gen {
+				continue
+			}
+			if s.tp.topo != nil && ev.id != s.tp.restoreID[evSlot] {
+				// This rebuild was paused by a component outage after the
+				// event was queued; its resumption is (or will be)
+				// rescheduled under a fresh restore id.
 				continue
 			}
 			sl.failed = false
@@ -274,6 +321,9 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 			// The replacement's operational life is measured from restore
 			// completion (the paper's alternating TTF/TTR chronology).
 			s.scheduleOpFail(evSlot, ev.time)
+			if s.tp.topo != nil {
+				s.noteAvail(ev.time, false)
+			}
 
 		case evDefectArrive:
 			if ev.gen != sl.gen {
@@ -331,4 +381,93 @@ func (s *eventSim) run(cfg Config, r *rng.RNG, obs Observer, buf []DDF) ([]DDF, 
 	// made under the biased measure (the draws define the path's density,
 	// whether or not the chronology ends up using them).
 	return s.ddfs, s.logW, nil
+}
+
+// restoreSeq returns the id a slot's restore event must carry to stay
+// valid; always 0 in flat runs, where pauses cannot invalidate restores.
+func (s *eventSim) restoreSeq(slot int) int64 {
+	if s.tp.topo == nil {
+		return 0
+	}
+	return s.tp.restoreID[slot]
+}
+
+// handleComp processes a component path instance's failure or repair.
+// Instances alternate between service and repair like drives do; the
+// covered slots flip accessibility only when the whole component — all of
+// its path instances — is down.
+func (s *eventSim) handleComp(ev event) {
+	tp := &s.tp
+	switch ev.kind {
+	case evCompFail:
+		comp, nowDown := tp.compFail(int(ev.slot))
+		s.emit(TraceEvent{Time: ev.time, Kind: TraceCompFail, Slot: comp})
+		s.push(ev.time+tp.ttrK[comp].Draw(s.r), evCompRestore, ev.slot, 0, 0, 0)
+		if !nowDown {
+			return
+		}
+		for _, d := range tp.topo.Components[comp].Drives {
+			tp.inacc[d]++
+			if tp.inacc[d] != 1 {
+				continue
+			}
+			dsl := &s.slots[d]
+			if tp.pauseSlot(dsl, d, ev.time) && tp.suppressSlot == d && ev.time < s.suppressUntil {
+				// The paused rebuild is the one ending the current DDF
+				// suppression window; it now ends when the rebuild
+				// eventually resumes and completes.
+				s.suppressUntil = math.Inf(1)
+			}
+		}
+		s.noteAvail(ev.time, false)
+
+	case evCompRestore:
+		comp, wasDown := tp.compRestore(int(ev.slot))
+		s.emit(TraceEvent{Time: ev.time, Kind: TraceCompRestore, Slot: comp})
+		s.push(ev.time+tp.ttopK[comp].Draw(s.r), evCompFail, ev.slot, 0, 0, 0)
+		if !wasDown {
+			return
+		}
+		for _, d := range tp.topo.Components[comp].Drives {
+			tp.inacc[d]--
+			if tp.inacc[d] != 0 || !tp.paused[d] {
+				continue
+			}
+			// Access restored: the held rebuild resumes with its pending
+			// repair hours.
+			dsl := &s.slots[d]
+			tp.paused[d] = false
+			dsl.restoreEnd = ev.time + tp.pending[d]
+			s.push(dsl.restoreEnd, evOpRestore, int32(d), dsl.gen, tp.restoreID[d], 0)
+			if tp.suppressSlot == d && math.IsInf(s.suppressUntil, 1) {
+				s.suppressUntil = dsl.restoreEnd
+			}
+		}
+		s.noteAvail(ev.time, false)
+	}
+}
+
+// noteAvail re-evaluates group availability after a state change at time
+// t: the group is unavailable while more slots than the redundancy covers
+// are lost, to operational failure or component inaccessibility. The
+// available→unavailable transition records a CauseUnavail onset when a
+// component-inaccessible slot is involved — unless the same instant
+// already recorded a data loss, which dominates. Episodes end (and the
+// next onset becomes recordable) when the lost count drops back within the
+// redundancy.
+func (s *eventSim) noteAvail(t float64, lossRecorded bool) {
+	tp := &s.tp
+	lost, compInvolved := tp.lost(s.slots)
+	if lost <= s.cfg.Redundancy {
+		tp.unavailable = false
+		return
+	}
+	if tp.unavailable {
+		return
+	}
+	tp.unavailable = true
+	if compInvolved && !lossRecorded {
+		s.ddfs = append(s.ddfs, DDF{Time: t, Cause: CauseUnavail})
+		s.emit(TraceEvent{Time: t, Kind: TraceUnavail, Slot: -1})
+	}
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 	"slices"
 	"sort"
@@ -72,7 +71,10 @@ func (IntervalEngine) SimulateInto(cfg Config, r *rng.RNG, buf []DDF) ([]DDF, fl
 		return buf, 0, err
 	}
 	if cfg.Spares != nil {
-		return buf, 0, fmt.Errorf("sim: the interval engine cannot model a finite spare pool (slots are precomputed independently); use EventEngine")
+		return buf, 0, errUnsupported("interval", "a finite spare pool")
+	}
+	if cfg.Topology.Coupled() {
+		return buf, 0, errUnsupported("interval", "a coupled component topology")
 	}
 	sc := intervalScratchPool.Get().(*intervalScratch)
 	defer func() {

@@ -9,6 +9,12 @@ const (
 	evDefectArrive
 	evDefectClear
 	evTruncateDefects
+	// evCompFail and evCompRestore are the failure/repair of one topology
+	// component path instance; their slot field indexes the instance, a
+	// namespace separate from the drive slots. Flat runs never schedule
+	// them.
+	evCompFail
+	evCompRestore
 )
 
 // event is one scheduled occurrence in a group chronology. The struct is

@@ -34,6 +34,9 @@ func (f FleetConfig) Validate() error {
 	if f.Group.Bias.Enabled() {
 		return fmt.Errorf("sim: fleet simulation does not support importance sampling (no weight channel in its output)")
 	}
+	if f.Group.Topology.Coupled() {
+		return fmt.Errorf("sim: fleet simulation does not support coupled component topologies; use EventEngine on a single group")
+	}
 	if err := f.Group.Validate(); err != nil {
 		return err
 	}

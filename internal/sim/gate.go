@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// Engine feature support matrix. Config.Validate accepts every expressible
+// configuration; whether a given engine can execute it is a separate,
+// per-engine question answered here, uniformly, so the runner, the service
+// layer, and direct engine callers all reject inexpressible combinations
+// with the same descriptive errors:
+//
+//	feature              event  interval  block
+//	bias (IntoSimulator)   ✓       ✓        ✓
+//	finite spares          ✓       –        –
+//	coupled topology       ✓       –        –
+//	variance reduction     –       –        ✓
+//
+// The per-slot engines precompute each slot's chronology independently, so
+// anything that couples the slots — a shared spare pool, a shared
+// component — is event-engine-only; the variance-reduction schemes are
+// defined over block-mean tallies only the block engine produces.
+
+// engineName returns the human name used in gating errors.
+func engineName(e Engine) string {
+	switch e.(type) {
+	case nil, EventEngine:
+		return "event"
+	case IntervalEngine:
+		return "interval"
+	case BlockEngine:
+		return "block"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// errUnsupported formats the uniform per-slot-engine rejection.
+func errUnsupported(engine, feature string) error {
+	return fmt.Errorf("sim: the %s engine cannot model %s (slots are precomputed independently); use EventEngine", engine, feature)
+}
+
+// errVRNeedsBlock is the uniform rejection of VR off the block engine.
+func errVRNeedsBlock() error {
+	return fmt.Errorf("sim: variance reduction requires the block engine (set Engine: BlockEngine{})")
+}
+
+// EngineSupports reports whether engine (nil meaning the default
+// EventEngine) can execute cfg, returning a descriptive error naming the
+// unsupported feature otherwise. The runner calls it before dispatching;
+// each engine's SimulateInto also enforces its own rows, so direct callers
+// get the same errors.
+func EngineSupports(engine Engine, cfg Config) error {
+	if engine == nil {
+		engine = EventEngine{}
+	}
+	name := engineName(engine)
+	perSlot := false
+	switch engine.(type) {
+	case IntervalEngine, BlockEngine:
+		perSlot = true
+	}
+	if perSlot {
+		if cfg.Spares != nil {
+			return errUnsupported(name, "a finite spare pool")
+		}
+		if cfg.Topology.Coupled() {
+			return errUnsupported(name, "a coupled component topology")
+		}
+	}
+	if cfg.VR.Enabled() {
+		if _, ok := engine.(BlockEngine); !ok {
+			return errVRNeedsBlock()
+		}
+	}
+	if cfg.Bias.Enabled() {
+		if _, ok := engine.(IntoSimulator); !ok {
+			// Engine.Simulate has no channel for the likelihood-ratio
+			// weight; silently running it biased would corrupt the estimate.
+			return fmt.Errorf("sim: importance sampling requires an engine implementing IntoSimulator (weights would be lost)")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"raidrel/internal/dist"
+	"raidrel/internal/rng"
+)
+
+// The full feature × engine support matrix, enforced uniformly: every
+// inexpressible combination is rejected — by EngineSupports, by the
+// runner, and by the engine's own SimulateInto — with a descriptive error;
+// every expressible one runs.
+func TestEngineFeatureMatrix(t *testing.T) {
+	topo := func() *Topology {
+		return &Topology{Components: []Component{{
+			Name: "enc", Drives: []int{0, 1},
+			TTOp: dist.MustExponential(1e-5),
+			TTR:  dist.MustExponential(1e-3),
+		}}}
+	}
+	features := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"plain", func(c *Config) {}},
+		{"bias", func(c *Config) { c.Bias = Bias{Op: 4} }},
+		{"spares", func(c *Config) { c.Spares = &SparePolicy{Initial: 1, ReplenishHours: 24} }},
+		{"topology", func(c *Config) { c.Topology = topo() }},
+		{"vr", func(c *Config) { c.VR = VR{Antithetic: true} }},
+		{"bias+topology", func(c *Config) { c.Bias = Bias{Op: 4}; c.Topology = topo() }},
+	}
+	engines := []struct {
+		name string
+		e    Engine
+	}{
+		{"event", nil}, // nil defaults to EventEngine
+		{"event-explicit", EventEngine{}},
+		{"interval", IntervalEngine{}},
+		{"block", BlockEngine{}},
+	}
+	// want[feature][engine] is the required error substring; "" means the
+	// combination must be accepted.
+	want := map[string]map[string]string{
+		"plain":    {"event": "", "event-explicit": "", "interval": "", "block": ""},
+		"bias":     {"event": "", "event-explicit": "", "interval": "", "block": ""},
+		"spares":   {"event": "", "event-explicit": "", "interval": "finite spare pool", "block": "finite spare pool"},
+		"topology": {"event": "", "event-explicit": "", "interval": "coupled component topology", "block": "coupled component topology"},
+		"vr": {
+			"event": "variance reduction requires the block engine", "event-explicit": "variance reduction requires the block engine",
+			"interval": "variance reduction requires the block engine", "block": "",
+		},
+		"bias+topology": {"event": "", "event-explicit": "", "interval": "coupled component topology", "block": "coupled component topology"},
+	}
+
+	for _, f := range features {
+		for _, e := range engines {
+			cfg := fastConfig()
+			cfg.Mission = 2000 // keep the accepted runs cheap
+			f.mut(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%s: config invalid before engine choice: %v", f.name, err)
+			}
+			wantSub := want[f.name][e.name]
+
+			gateErr := EngineSupports(e.e, cfg)
+			runErr := RunCollect(RunSpec{Config: cfg, Iterations: 8, Seed: 1, Workers: 2, Engine: e.e},
+				CollectorFunc(func(int, []DDF, float64) {}))
+			for which, err := range map[string]error{"EngineSupports": gateErr, "RunCollect": runErr} {
+				if wantSub == "" {
+					if err != nil {
+						t.Errorf("%s × %s: %s rejected expressible combination: %v", f.name, e.name, which, err)
+					}
+				} else if err == nil || !strings.Contains(err.Error(), wantSub) {
+					t.Errorf("%s × %s: %s = %v, want substring %q", f.name, e.name, which, err, wantSub)
+				}
+			}
+
+			// The engines' own SimulateInto entry points agree with the
+			// gate for their per-slot rows (VR is a runner-level scheme the
+			// engines never see, so it is exempt here).
+			if f.name == "vr" {
+				continue
+			}
+			var into IntoSimulator
+			switch e.e.(type) {
+			case IntervalEngine:
+				into = IntervalEngine{}
+			case BlockEngine:
+				into = BlockEngine{}
+			default:
+				continue
+			}
+			_, _, err := into.SimulateInto(cfg, rng.New(7), nil)
+			if wantSub == "" {
+				if err != nil {
+					t.Errorf("%s × %s: SimulateInto rejected expressible combination: %v", f.name, e.name, err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), wantSub) {
+				t.Errorf("%s × %s: SimulateInto = %v, want substring %q", f.name, e.name, err, wantSub)
+			}
+		}
+	}
+
+	// Spares + coupled topology is inexpressible on any engine and dies at
+	// Validate.
+	cfg := fastConfig()
+	cfg.Spares = &SparePolicy{Initial: 1}
+	cfg.Topology = topo()
+	if err := cfg.Validate(); err == nil {
+		t.Error("spares+topology passed Validate")
+	}
+}

@@ -35,10 +35,14 @@ type RunResult struct {
 	// PerGroup holds each simulated group's DDF events in chronological
 	// order; len(PerGroup) == Iterations.
 	PerGroup [][]DDF
-	// TotalDDFs is the total event count across groups.
+	// TotalDDFs is the total data-loss event count across groups;
+	// unavailability onsets are counted in UnavailEvents instead.
 	TotalDDFs int
 	// OpOpDDFs and LdOpDDFs split the total by cause.
 	OpOpDDFs, LdOpDDFs int
+	// UnavailEvents counts data-unavailability onsets (coupled topologies
+	// only; always 0 for flat runs).
+	UnavailEvents int
 
 	// flatTimes caches the sorted flat event-time slice behind DDFsBefore;
 	// built lazily so manually assembled results work too.
@@ -71,6 +75,9 @@ func (r *RunResult) flat() []float64 {
 		ts := make([]float64, 0, n)
 		for _, g := range r.PerGroup {
 			for _, d := range g {
+				if d.Cause == CauseUnavail {
+					continue
+				}
 				ts = append(ts, d.Time)
 			}
 		}
@@ -93,9 +100,13 @@ func (r *RunResult) DDFsBefore(t float64) int {
 // Tally recomputes the aggregate counts from PerGroup — for results
 // assembled by hand, e.g. restored from a campaign checkpoint.
 func (r *RunResult) Tally() {
-	r.TotalDDFs, r.OpOpDDFs, r.LdOpDDFs = 0, 0, 0
+	r.TotalDDFs, r.OpOpDDFs, r.LdOpDDFs, r.UnavailEvents = 0, 0, 0, 0
 	for _, g := range r.PerGroup {
 		for _, d := range g {
+			if d.Cause == CauseUnavail {
+				r.UnavailEvents++
+				continue
+			}
 			r.TotalDDFs++
 			switch d.Cause {
 			case CauseOpOp:
@@ -116,6 +127,7 @@ func (r *RunResult) Merge(other *RunResult) {
 	r.TotalDDFs += other.TotalDDFs
 	r.OpOpDDFs += other.OpOpDDFs
 	r.LdOpDDFs += other.LdOpDDFs
+	r.UnavailEvents += other.UnavailEvents
 	r.flatOnce = sync.Once{}
 	r.flatTimes = nil
 }
@@ -162,20 +174,19 @@ func RunCollect(spec RunSpec, c Collector) error {
 	if engine == nil {
 		engine = EventEngine{}
 	}
+	// Uniform feature gating: reject combinations the chosen engine cannot
+	// express (finite spares or coupled topologies off the event engine,
+	// VR off the block engine, bias without a weight channel) before any
+	// worker starts.
+	if err := EngineSupports(engine, spec.Config); err != nil {
+		return err
+	}
 	if be, ok := engine.(BlockEngine); ok {
 		// The block engine runs whole blocks per worker dispatch — and is
 		// the only engine that implements the variance-reduction schemes.
 		return runCollectBlocks(spec, be, workers, c)
 	}
-	if spec.Config.VR.Enabled() {
-		return fmt.Errorf("sim: variance reduction requires the block engine (set Engine: BlockEngine{})")
-	}
 	into, hasInto := engine.(IntoSimulator)
-	if spec.Config.Bias.Enabled() && !hasInto {
-		// Engine.Simulate has no channel for the likelihood-ratio weight;
-		// silently running it biased would corrupt the estimate.
-		return fmt.Errorf("sim: importance sampling requires an engine implementing IntoSimulator (weights would be lost)")
-	}
 
 	// done releases workers blocked on a full channel when the merger
 	// aborts early on an error.

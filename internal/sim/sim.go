@@ -36,6 +36,14 @@ const (
 	// CauseLdOp is an operational failure striking while another drive
 	// carries an uncorrected latent defect.
 	CauseLdOp
+	// CauseUnavail marks the onset of a data-unavailability episode: more
+	// drive slots than the redundancy covers are simultaneously lost, with
+	// at least one lost to a shared-component failure rather than a drive
+	// failure. Unlike the DDF causes it is not data loss — the data comes
+	// back when the component is repaired — so every loss statistic
+	// (TotalDDFs, cause splits, the campaign CI) excludes it. Only coupled
+	// topologies produce it.
+	CauseUnavail
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +53,8 @@ func (c Cause) String() string {
 		return "op+op"
 	case CauseLdOp:
 		return "ld+op"
+	case CauseUnavail:
+		return "unavail"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
@@ -103,6 +113,14 @@ type Config struct {
 	// supports finite spares: the pool couples the drive slots, which the
 	// per-slot interval engine cannot express.
 	Spares *SparePolicy
+	// Topology optionally couples the drive slots through shared
+	// components (enclosures, expanders, controllers): a component failure
+	// renders every covered slot inaccessible — pausing in-flight rebuilds
+	// — until the component is repaired, and sustained inaccessibility
+	// beyond the redundancy is recorded as a CauseUnavail onset event. A
+	// nil (or component-free) topology is the flat per-drive model and
+	// changes nothing; coupled topologies run on the event engine only.
+	Topology *Topology
 	// Bias optionally turns on failure-biased importance sampling: hazards
 	// are scaled up during sampling and each iteration carries a
 	// likelihood-ratio weight so the weighted estimator stays unbiased.
@@ -150,6 +168,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Spares.Validate(); err != nil {
 		return err
+	}
+	if err := c.Topology.Validate(c.Drives); err != nil {
+		return err
+	}
+	if c.Topology.Coupled() && c.Spares != nil {
+		return fmt.Errorf("sim: a finite spare pool cannot be combined with a coupled component topology")
+	}
+	if c.Topology.Coupled() && c.VR.Enabled() {
+		return fmt.Errorf("sim: variance reduction requires the block engine, which cannot run a coupled component topology; use the event engine without VR")
 	}
 	if err := c.Bias.validate(); err != nil {
 		return err

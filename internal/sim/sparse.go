@@ -53,10 +53,15 @@ type SparseResult struct {
 	Groups int
 	// Events holds every DDF across all groups, sorted by (Group, Time).
 	Events []GroupEvent
-	// TotalDDFs is the total event count across groups.
+	// TotalDDFs is the total data-loss event count across groups.
+	// Unavailability onsets (CauseUnavail) are counted separately in
+	// UnavailEvents and excluded from every loss statistic.
 	TotalDDFs int
 	// OpOpDDFs and LdOpDDFs split the total by cause.
 	OpOpDDFs, LdOpDDFs int
+	// UnavailEvents counts data-unavailability onset events (coupled
+	// topologies only; always 0 for flat runs).
+	UnavailEvents int
 	// VR holds the block-level variance-reduction tallies when the run used
 	// VR-enabled block simulation; nil otherwise. Blocks are in iteration
 	// order, matching the Events index.
@@ -108,6 +113,10 @@ func (r *SparseResult) ObserveVRBlock(blockSize int, ez float64, b VRBlock) {
 }
 
 func (r *SparseResult) tallyOne(c Cause) {
+	if c == CauseUnavail {
+		r.UnavailEvents++
+		return
+	}
 	r.TotalDDFs++
 	switch c {
 	case CauseOpOp:
@@ -128,7 +137,7 @@ func (r *SparseResult) invalidateLocked() {
 func (r *SparseResult) Tally() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.TotalDDFs, r.OpOpDDFs, r.LdOpDDFs = 0, 0, 0
+	r.TotalDDFs, r.OpOpDDFs, r.LdOpDDFs, r.UnavailEvents = 0, 0, 0, 0
 	for _, e := range r.Events {
 		r.tallyOne(e.Cause)
 	}
@@ -152,6 +161,7 @@ func (r *SparseResult) Merge(other *SparseResult) {
 	r.TotalDDFs += other.TotalDDFs
 	r.OpOpDDFs += other.OpOpDDFs
 	r.LdOpDDFs += other.LdOpDDFs
+	r.UnavailEvents += other.UnavailEvents
 	if other.VR != nil {
 		if r.VR == nil {
 			r.VR = &VRTally{BlockSize: other.VR.BlockSize, EZ: other.VR.EZ}
@@ -180,10 +190,15 @@ func (r *SparseResult) Weighted() bool {
 // otherwise). r.mu must be held.
 func (r *SparseResult) flatLocked() ([]float64, []float64) {
 	if r.flatTimes == nil {
-		idx := make([]int, len(r.Events))
+		// The flat index feeds the loss curve (MCF, DDFsBefore);
+		// unavailability onsets are not data loss and stay out of it.
+		idx := make([]int, 0, len(r.Events))
 		weighted := false
 		for i, e := range r.Events {
-			idx[i] = i
+			if e.Cause == CauseUnavail {
+				continue
+			}
+			idx = append(idx, i)
 			weighted = weighted || e.LogW != 0
 		}
 		sort.Slice(idx, func(a, b int) bool { return r.Events[idx[a]].Time < r.Events[idx[b]].Time })
@@ -233,19 +248,57 @@ func (r *SparseResult) DDFsBefore(t float64) int {
 	return sort.Search(len(ts), func(i int) bool { return ts[i] > t })
 }
 
-// GroupsWithDDF counts the groups that produced at least one event — the
-// Bernoulli numerator of the campaign stopping rule — in one pass over the
-// sparse index, never touching the empty groups.
+// GroupsWithDDF counts the groups that produced at least one data-loss
+// event — the Bernoulli numerator of the campaign stopping rule — in one
+// pass over the sparse index, never touching the empty groups.
+// Unavailability-only groups do not count.
 func (r *SparseResult) GroupsWithDDF() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := 0
-	for i, e := range r.Events {
-		if i == 0 || e.Group != r.Events[i-1].Group {
+	n, last := 0, -1
+	for _, e := range r.Events {
+		if e.Cause == CauseUnavail {
+			continue
+		}
+		if e.Group != last {
 			n++
+			last = e.Group
 		}
 	}
 	return n
+}
+
+// GroupsWithUnavail counts the groups that entered at least one
+// data-unavailability episode. Always 0 for flat runs.
+func (r *SparseResult) GroupsWithUnavail() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, last := 0, -1
+	for _, e := range r.Events {
+		if e.Cause != CauseUnavail {
+			continue
+		}
+		if e.Group != last {
+			n++
+			last = e.Group
+		}
+	}
+	return n
+}
+
+// WeightedUnavailTotal returns the importance-weighted unavailability
+// onset-event total: each onset counts its group's weight exp(LogW), the
+// plain count for unbiased runs.
+func (r *SparseResult) WeightedUnavailTotal() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0.0
+	for _, e := range r.Events {
+		if e.Cause == CauseUnavail {
+			total += math.Exp(e.LogW)
+		}
+	}
+	return total
 }
 
 // GroupWeights returns each event-bearing group's importance-sampling
@@ -257,9 +310,14 @@ func (r *SparseResult) GroupWeights() []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var ws []float64
-	for i, e := range r.Events {
-		if i == 0 || e.Group != r.Events[i-1].Group {
+	last := -1
+	for _, e := range r.Events {
+		if e.Cause == CauseUnavail {
+			continue
+		}
+		if e.Group != last {
 			ws = append(ws, math.Exp(e.LogW))
+			last = e.Group
 		}
 	}
 	return ws
@@ -287,7 +345,7 @@ func (r *SparseResult) GroupCounts(t float64) []float64 {
 			cur, n = e.Group, 0
 			w = math.Exp(e.LogW)
 		}
-		if e.Time <= t {
+		if e.Cause != CauseUnavail && e.Time <= t {
 			n++
 		}
 	}
@@ -302,6 +360,9 @@ func (r *SparseResult) WeightedCauseTotals() (total, opop, ldop float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, e := range r.Events {
+		if e.Cause == CauseUnavail {
+			continue
+		}
 		w := math.Exp(e.LogW)
 		total += w
 		switch e.Cause {
@@ -323,10 +384,11 @@ func (r *SparseResult) Dense() *RunResult {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := &RunResult{
-		PerGroup:  make([][]DDF, r.Groups),
-		TotalDDFs: r.TotalDDFs,
-		OpOpDDFs:  r.OpOpDDFs,
-		LdOpDDFs:  r.LdOpDDFs,
+		PerGroup:      make([][]DDF, r.Groups),
+		TotalDDFs:     r.TotalDDFs,
+		OpOpDDFs:      r.OpOpDDFs,
+		LdOpDDFs:      r.LdOpDDFs,
+		UnavailEvents: r.UnavailEvents,
 	}
 	for i := 0; i < len(r.Events); {
 		g := r.Events[i].Group

@@ -17,6 +17,12 @@ const (
 	TraceScrub
 	// TraceDDF is a double-disk failure.
 	TraceDDF
+	// TraceCompFail and TraceCompRestore are a topology component path
+	// instance failing and being repaired; Slot holds the component index.
+	TraceCompFail
+	TraceCompRestore
+	// TraceUnavail is the onset of a data-unavailability episode (Slot -1).
+	TraceUnavail
 )
 
 // String implements fmt.Stringer.
@@ -32,6 +38,12 @@ func (k TraceKind) String() string {
 		return "scrub"
 	case TraceDDF:
 		return "DDF"
+	case TraceCompFail:
+		return "comp-fail"
+	case TraceCompRestore:
+		return "comp-restore"
+	case TraceUnavail:
+		return "unavail"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

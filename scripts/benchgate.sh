@@ -24,7 +24,7 @@ MAX_PCT="${MAX_REGRESSION_PCT:-10}"
 # The pinned set: small, stable benchmarks that cover the per-draw kernels
 # and the end-to-end engine iteration. Sub-benchmarks of the listed names
 # are included.
-PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|BenchmarkEngineTimelineInto|BenchmarkEngineTimelineBiasedInto|BenchmarkEngineSequentialInto|BenchmarkEngineSequentialBiasedInto|BenchmarkEngineBlockInto|BenchmarkEngineBlockBiasedInto|BenchmarkEngineBlockVRInto)$'
+PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|BenchmarkEngineTimelineInto|BenchmarkEngineTimelineFlatTopoInto|BenchmarkEngineTimelineBiasedInto|BenchmarkEngineSequentialInto|BenchmarkEngineSequentialBiasedInto|BenchmarkEngineBlockInto|BenchmarkEngineBlockBiasedInto|BenchmarkEngineBlockVRInto)$'
 # The batched engine must hold its headline speedup over the scalar
 # interval engine (BENCH_sim.json): block median <= sequential/MIN_SPEEDUP.
 MIN_SPEEDUP="${MIN_BLOCK_SPEEDUP:-1.5}"
@@ -130,6 +130,28 @@ medians "$tmp/head.txt" | awk -v min="$MIN_SPEEDUP" '
     }
     if (block > seq) {
       print "benchgate: FAIL — batched engine slower than the scalar interval engine"
+      exit 1
+    }
+  }'
+
+# Head-only topology gate: a flat (component-free) topology must compile
+# down to the plain per-drive event engine — its median may sit at most
+# MAX_PCT above BenchmarkEngineTimelineInto's, i.e. within the same noise
+# band the base-vs-head gate tolerates. Catches any accidental per-event
+# cost sneaking into the flat fast path.
+medians "$tmp/head.txt" | awk -v max="$MAX_PCT" '
+  $1 == "BenchmarkEngineTimelineInto" { plain = $2 }
+  $1 == "BenchmarkEngineTimelineFlatTopoInto" { flat = $2 }
+  END {
+    if (!plain || !flat) {
+      print "benchgate: flat-topology medians not all measured; skipping topology gate"
+      exit 0
+    }
+    delta = (flat - plain) / plain * 100
+    printf "benchgate: flat-topology event engine %.0f ns vs plain %.0f ns (%+.1f%%, gate <= +%.0f%%)\n", \
+      flat, plain, delta, max
+    if (delta > max) {
+      print "benchgate: FAIL — flat topology no longer free on the event-engine hot path"
       exit 1
     }
   }'
