@@ -290,6 +290,32 @@ func BenchmarkEngineBlockVRInto(b *testing.B) {
 	benchRunBlock(b, cfg)
 }
 
+// BenchmarkFleetInto measures one warm fleet chronology — 10,000 coupled
+// base-case groups contending for 64 fleet-wide repair slots — through the
+// pooled zero-steady-state-allocation entry point, reporting per-group
+// cost. The hard 0-alloc guard is TestFleetIntoZeroAlloc; here allocs/op
+// records the amortized scratch growth across chronologies.
+func BenchmarkFleetInto(b *testing.B) {
+	fc := sim.FleetConfig{
+		Groups:                10_000,
+		Group:                 baseSimConfig(),
+		MaxConcurrentRebuilds: 64,
+	}
+	var st sim.FleetStats
+	visit := func(int, []sim.DDF) {}
+	if err := sim.SimulateFleetInto(fc, 1, 0, visit, &st); err != nil {
+		b.Fatal(err) // warm the pooled scratch to the fleet's size
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.SimulateFleetInto(fc, 1, uint64(i)*uint64(fc.Groups), visit, &st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.Failures), "failures_per_chron")
+}
+
 // biasedSimConfig is the base case under the standard rare-event tilt:
 // the operational-failure hazard scaled by θ = 8.
 func biasedSimConfig() sim.Config {

@@ -7,7 +7,8 @@
 //
 // where <experiment> is one of: table1, table2, table3, fig1, fig2, fig6,
 // fig7, fig8, fig9, fig10, sweepn (group-size sweep), topology
-// (shared-hardware designs), sensitivity (tornado analysis), or all.
+// (shared-hardware designs), fleet (repair-bandwidth sweep), sensitivity
+// (tornado analysis), or all.
 package main
 
 import (
@@ -44,7 +45,7 @@ func run(args []string, out io.Writer) error {
 
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "sweepn", "topology", "sensitivity"} {
+		for _, n := range []string{"table1", "table2", "table3", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "sweepn", "topology", "fleet", "sensitivity"} {
 			if err := r.render(n); err != nil {
 				return err
 			}

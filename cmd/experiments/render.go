@@ -67,6 +67,8 @@ func (r renderer) render(name string) error {
 		return r.sweepN()
 	case "topology":
 		return r.topology()
+	case "fleet":
+		return r.fleet()
 	case "sensitivity":
 		return r.sensitivity()
 	default:
@@ -178,6 +180,32 @@ func (r renderer) topology() error {
 		return err
 	}
 	fmt.Fprintln(r.out, "unavailability onsets are access-loss episodes, not data loss; the flat row is 0 by construction")
+	return nil
+}
+
+func (r renderer) fleet() error {
+	rows, err := experiments.FleetSweep(r.opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Fleet sweep: repair slots x fleet size at base case with 96 h bandwidth-limited rebuilds")
+	t := report.NewTable("fleet", "repair slots", "DDFs/1000 groups", "rebuilds queued", "mean wait (h)", "max wait (h)", "max exposure (h)")
+	for _, row := range rows {
+		slots := fmt.Sprintf("%d", row.Slots)
+		if row.Slots == 0 {
+			slots = "unlimited"
+		}
+		t.AddRow(fmt.Sprintf("%d", row.Groups), slots,
+			fmt.Sprintf("%.2f", row.DDFs),
+			fmt.Sprintf("%.1f%%", 100*row.WaitFrac),
+			fmt.Sprintf("%.1f", row.MeanWaitH),
+			fmt.Sprintf("%.1f", row.MaxWaitH),
+			fmt.Sprintf("%.1f", row.MaxExposureH))
+	}
+	if err := t.Render(r.out); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "queued rebuilds wait for a fleet-wide repair slot (most-degraded group first); the unlimited row is the independent-group baseline")
 	return nil
 }
 

@@ -13,6 +13,7 @@
 //	        [-ttr-gamma 6] [-ttr-eta 12] [-ttr-beta 2]
 //	        [-ld-rate 1.08e-4] [-scrub 168]
 //	        [-topology topo.json]
+//	        [-fleet 100] [-repair-slots 4]
 //	        [-iterations 10000] [-seed 1] [-csv]
 //	        [-trace]
 //	        [-target-rel-err 0.1] [-confidence 0.95]
@@ -37,6 +38,14 @@
 // pauses their rebuilds — distinct from data loss, reported separately as
 // unavailability onsets. Coupled topologies run on the event engine and
 // cannot combine with -vr or a spare pool.
+//
+// -fleet couples every N simulated groups into one fleet chronology and
+// -repair-slots bounds its repair bandwidth: at most K rebuilds run
+// concurrently fleet-wide (0 = unlimited), with queued rebuilds granted to
+// the most-degraded group first. The summary then includes the heal
+// backlog — queue depth, rebuild waits, and the worst degradation
+// exposure. Iteration counts round up to whole chronologies. Fleet runs
+// cannot combine with -vr, -bias, or -topology.
 //
 // -bias enables importance sampling: operational-failure hazards are
 // scaled up by the factor during sampling and every estimate is
@@ -98,6 +107,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ldRate := fs.Float64("ld-rate", 1.08e-4, "latent defects per drive-hour (0 disables)")
 	scrubHours := fs.Float64("scrub", 168, "scrub period, hours (0 disables)")
 	topoFile := fs.String("topology", "", "JSON component-topology file (shared failure domains; empty = flat drives-only model)")
+	fleet := fs.Int("fleet", 0, "couple every N groups into one fleet chronology (0 = independent groups)")
+	repairSlots := fs.Int("repair-slots", 0, "fleet-wide concurrent-rebuild cap, most-degraded group first (0 = unlimited; requires -fleet)")
 	iterations := fs.Int("iterations", 10000, "simulated RAID groups (fixed-size campaigns)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	csv := fs.Bool("csv", false, "emit the cumulative curve as CSV")
@@ -194,6 +205,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	vr.BlockSize = *batchBlock
 	p.VR = vr
+	if *fleet > 0 {
+		p.Fleet = &sim.FleetOptions{Groups: *fleet, MaxConcurrentRebuilds: *repairSlots}
+	} else if *fleet < 0 {
+		return fmt.Errorf("-fleet %d negative (use 0 for independent groups)", *fleet)
+	} else if *repairSlots != 0 {
+		return fmt.Errorf("-repair-slots needs -fleet (a repair cap is a fleet-wide property)")
+	}
 	if *trace {
 		return renderTrace(out, p, *seed)
 	}
@@ -260,6 +278,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if p.Topology != nil {
 		fmt.Fprintf(out, "availability:  %.4g unavailability onsets per 1000 groups (%.3g of groups affected; not data loss)\n",
 			res.UnavailPer1000Groups(), res.GroupUnavailProbability())
+	}
+	if f := res.Fleet(); f != nil {
+		fmt.Fprintf(out, "fleet:         %d chronologies x %d groups: %d failures, %d rebuilds done (%d waited for a repair slot)\n",
+			f.Chronologies, f.GroupsPer, f.Failures, f.Rebuilds, f.Waited)
+		fmt.Fprintf(out, "               heal backlog: mean queue depth %.3g (peak %d), mean wait %.3g h (worst %.3g h), worst exposure %.4g h\n",
+			f.MeanQueueDepth(), f.MaxQueueDepth, f.MeanWaitHours(), f.MaxWaitHours, f.MaxExposureHours)
 	}
 	if camp != nil {
 		fmt.Fprintf(out, "campaign:      %d groups in %d batches, stopped: %s\n",

@@ -15,7 +15,6 @@ import (
 
 	"raidrel/internal/dist"
 	"raidrel/internal/report"
-	"raidrel/internal/rng"
 	"raidrel/internal/sim"
 )
 
@@ -54,11 +53,11 @@ func run() error {
 		}
 		total := 0
 		for i := 0; i < iters; i++ {
-			res, err := sim.SimulateFleet(sim.FleetConfig{
+			res, _, err := sim.SimulateFleet(sim.FleetConfig{
 				Groups:       groups,
 				Group:        group,
 				SharedSpares: pool,
-			}, rng.ForStream(77, uint64(i)))
+			}, 77, uint64(i*groups))
 			if err != nil {
 				return err
 			}

@@ -57,6 +57,14 @@ type Spec struct {
 	// the fingerprint, so a shard checkpoint can only resume its own shard.
 	Offset int
 
+	// Fleet, when non-nil, runs fleet chronologies of Fleet.Groups coupled
+	// RAID groups (shared spare pool, bounded repair bandwidth) instead of
+	// independent groups. Iterations still count groups; batch sizes and
+	// budgets are rounded up to whole chronologies, the heal-backlog tally
+	// accumulates in Result.Fleet, and checkpoints carry it so a resumed
+	// campaign's backlog statistics stay exact. Engine must be nil.
+	Fleet *sim.FleetOptions
+
 	// BatchSize is the number of iterations per batch (0 = DefaultBatchSize).
 	BatchSize int
 	// MinIterations is the floor below which the target-precision rule
@@ -116,6 +124,15 @@ func (s Spec) withDefaults() Spec {
 			}
 		}
 	}
+	if s.Fleet != nil && s.Fleet.Groups > 1 {
+		// Fleet runs dispatch whole chronologies of Groups coupled groups:
+		// every batch (and any iteration budget) must cover whole
+		// chronologies, or the runner would be asked for a fractional fleet.
+		s.BatchSize = roundUp(s.BatchSize, s.Fleet.Groups)
+		if s.MaxIterations > 0 {
+			s.MaxIterations = roundUp(s.MaxIterations, s.Fleet.Groups)
+		}
+	}
 	if s.MinIterations == 0 {
 		s.MinIterations = s.BatchSize
 	}
@@ -164,6 +181,17 @@ func (s Spec) validate() error {
 		}
 		if bs := s.Config.VR.EffectiveBlock(); s.Offset%bs != 0 {
 			return fmt.Errorf("campaign: stream offset %d is not a multiple of the VR block size %d (shards must start on block boundaries)", s.Offset, bs)
+		}
+	}
+	if s.Fleet != nil {
+		if s.Engine != nil {
+			return fmt.Errorf("campaign: fleet campaigns use the dedicated fleet engine; Engine must be nil, got %T", s.Engine)
+		}
+		if err := s.Fleet.Config(s.Config).Validate(); err != nil {
+			return err
+		}
+		if s.Offset%s.Fleet.Groups != 0 {
+			return fmt.Errorf("campaign: stream offset %d is not a multiple of the fleet size %d (shards must start on chronology boundaries)", s.Offset, s.Fleet.Groups)
 		}
 	}
 	return nil
@@ -271,6 +299,9 @@ type Result struct {
 	// variance, ≈ how many plain iterations one VR iteration is worth.
 	// Zero until measurable.
 	VRFactor float64
+	// Fleet aggregates the heal-backlog statistics of a fleet campaign
+	// (Spec.Fleet); nil otherwise. It aliases Run.Fleet.
+	Fleet *sim.FleetTally
 	// Reason records which stopping rule fired.
 	Reason StopReason
 	// Elapsed is this process's wall-clock time in the campaign loop.
@@ -335,6 +366,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			Workers:    spec.Workers,
 			Engine:     spec.Engine,
 			Offset:     spec.Offset + done,
+			Fleet:      spec.Fleet,
 		})
 		if err != nil {
 			return nil, err
@@ -374,6 +406,7 @@ func assemble(spec Spec, run *sim.SparseResult, done, batches, resumedFrom int, 
 		ResumedFrom: resumedFrom,
 	}
 	res.RelErr = math.Inf(1)
+	res.Fleet = run.Fleet
 	if done > 0 {
 		res.GroupsWithDDF = run.GroupsWithDDF()
 		res.GroupsWithUnavail = run.GroupsWithUnavail()

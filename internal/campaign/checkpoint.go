@@ -43,6 +43,11 @@ type checkpointFile struct {
 	// Omitted (and absent from the digest surface) for plain campaigns, so
 	// pre-VR checkpoints and readers are unaffected.
 	VR *checkpointVR `json:"vr,omitempty"`
+	// Fleet holds the accumulated heal-backlog tally of a fleet campaign,
+	// verbatim, so a resumed campaign's backlog statistics continue from
+	// exactly where the interrupted one stopped. Omitted for scalar
+	// campaigns, mirroring VR: pre-fleet checkpoints stay byte-compatible.
+	Fleet *sim.FleetTally `json:"fleet,omitempty"`
 }
 
 // checkpointVR serializes sim.VRTally: the analytic control expectation
@@ -111,6 +116,16 @@ func (s Spec) Fingerprint() string {
 		// checkpoint can never be resumed into shard j.
 		fmt.Fprintf(h, "offset=%d;", s.Offset)
 	}
+	if s.Fleet != nil {
+		// Included only for fleet campaigns, keeping every scalar
+		// fingerprint stable. The fleet size, repair-slot cap, and spare
+		// policy all change which streams feed which chronology and how
+		// contention unfolds, so any difference must orphan the checkpoint.
+		fmt.Fprintf(h, "fleet=%d/%d;", s.Fleet.Groups, s.Fleet.MaxConcurrentRebuilds)
+		if s.Fleet.SharedSpares != nil {
+			fmt.Fprintf(h, "fleetspares=%v;", *s.Fleet.SharedSpares)
+		}
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -134,6 +149,10 @@ func saveCheckpoint(path string, spec Spec, run *sim.SparseResult, batches int) 
 	}
 	if run.VR != nil {
 		doc.VR = &checkpointVR{BlockSize: run.VR.BlockSize, EZ: run.VR.EZ, Blocks: run.VR.Blocks}
+	}
+	if run.Fleet != nil {
+		fleet := *run.Fleet
+		doc.Fleet = &fleet
 	}
 	data, err := json.Marshal(doc)
 	if err != nil {
@@ -260,6 +279,36 @@ func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
 			return nil, 0, fmt.Errorf("vr blocks cover %d iterations, checkpoint has %d", total, doc.NextStream)
 		}
 		run.VR = &sim.VRTally{BlockSize: doc.VR.BlockSize, EZ: doc.VR.EZ, Blocks: doc.VR.Blocks}
+	}
+	if spec.Fleet != nil && doc.Fleet == nil && doc.NextStream > 0 {
+		return nil, 0, fmt.Errorf("fleet campaign, but the checkpoint carries no fleet tally")
+	}
+	if doc.Fleet != nil {
+		f := doc.Fleet
+		if spec.Fleet == nil {
+			return nil, 0, fmt.Errorf("fleet: checkpoint carries a fleet tally, but the campaign is scalar")
+		}
+		if f.GroupsPer != spec.Fleet.Groups {
+			return nil, 0, fmt.Errorf("fleet: checkpoint fleet size %d, campaign %d", f.GroupsPer, spec.Fleet.Groups)
+		}
+		if f.Chronologies < 0 || f.Chronologies*f.GroupsPer != doc.NextStream {
+			return nil, 0, fmt.Errorf("fleet: %d chronologies of %d groups inconsistent with %d iterations",
+				f.Chronologies, f.GroupsPer, doc.NextStream)
+		}
+		if f.Failures < 0 || f.Rebuilds < 0 || f.Waited < 0 || f.ActiveAtEnd < 0 || f.QueuedAtEnd < 0 || f.MaxQueueDepth < 0 {
+			return nil, 0, fmt.Errorf("fleet: negative count in tally %+v", *f)
+		}
+		if f.Failures != f.Rebuilds+f.ActiveAtEnd+f.QueuedAtEnd {
+			return nil, 0, fmt.Errorf("fleet: %d failures != %d rebuilds + %d active + %d queued",
+				f.Failures, f.Rebuilds, f.ActiveAtEnd, f.QueuedAtEnd)
+		}
+		for _, v := range [...]float64{f.TotalWaitHours, f.MaxWaitHours, f.MeanDepthSum, f.MaxExposureHours} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, 0, fmt.Errorf("fleet: non-finite or negative hours in tally %+v", *f)
+			}
+		}
+		fleet := *f
+		run.Fleet = &fleet
 	}
 	run.Tally()
 	return run, doc.Batches, nil

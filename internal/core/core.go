@@ -217,6 +217,14 @@ type Params struct {
 	// the zero value changes nothing.
 	VR sim.VR `json:"vr"`
 
+	// Fleet optionally couples each iteration's RAID groups into a fleet
+	// sharing a spare pool and a bounded repair crew (Fleet.Groups groups
+	// per chronology, at most Fleet.MaxConcurrentRebuilds concurrent
+	// rebuilds). Iterations still count groups; heal-backlog statistics
+	// accumulate alongside the DDF estimate. Nil keeps the paper's
+	// independent-group model. Incompatible with VR, Bias, and Topology.
+	Fleet *sim.FleetOptions `json:"fleet,omitempty"`
+
 	// ExponentialOp forces a constant-rate TTOp with the same mean as the
 	// Weibull spec (the paper's "c-" variants in Fig. 6).
 	ExponentialOp bool `json:"exponential_op,omitempty"`
@@ -399,6 +407,15 @@ func New(p Params) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if p.Fleet != nil {
+		// The fleet wrapper re-validates the group config plus the
+		// coupling knobs (size, spare policy, rebuild cap) and rejects the
+		// engine features the fleet path cannot honor (VR, bias, coupled
+		// topologies).
+		if err := p.Fleet.Config(cfg).Validate(); err != nil {
+			return nil, err
+		}
+	}
 	return &Model{params: p, cfg: cfg}, nil
 }
 
@@ -422,13 +439,18 @@ func (m *Model) engine() sim.Engine {
 
 // Run simulates the given number of independent RAID groups with the given
 // seed and returns the aggregated result. Iterations is the paper's "RAID
-// groups monitored": 1,000 groups × 10 years in the headline numbers.
+// groups monitored": 1,000 groups × 10 years in the headline numbers. For
+// fleet models the count is rounded up to whole fleet chronologies.
 func (m *Model) Run(iterations int, seed uint64) (*Result, error) {
+	if f := m.params.Fleet; f != nil && f.Groups > 1 && iterations%f.Groups != 0 {
+		iterations += f.Groups - iterations%f.Groups
+	}
 	res, err := sim.RunSparse(sim.RunSpec{
 		Config:     m.cfg,
 		Iterations: iterations,
 		Seed:       seed,
 		Engine:     m.engine(),
+		Fleet:      m.params.Fleet,
 	})
 	if err != nil {
 		return nil, err
@@ -510,6 +532,7 @@ func (m *Model) RunAdaptive(ctx context.Context, seed uint64, opts AdaptiveOptio
 		Checkpoint:    opts.Checkpoint,
 		Resume:        opts.Resume,
 		Progress:      opts.Progress,
+		Fleet:         m.params.Fleet,
 	})
 	if err != nil {
 		return nil, err
@@ -584,6 +607,13 @@ func (r *Result) UnavailPer1000Groups() float64 {
 // topologies.
 func (r *Result) GroupUnavailProbability() float64 {
 	return float64(r.Raw.GroupsWithUnavail()) / float64(r.Groups)
+}
+
+// Fleet returns the heal-backlog tally of a fleet run — repair-queue
+// depth, per-rebuild waits, and worst degradation exposure accumulated
+// across chronologies — or nil for independent-group runs.
+func (r *Result) Fleet() *sim.FleetTally {
+	return r.Raw.Fleet
 }
 
 // CauseBreakdown returns the OpOp and LdOp counts per 1,000 groups over

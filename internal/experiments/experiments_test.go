@@ -399,3 +399,48 @@ func TestFigure2VintageRecovery(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetSweep(t *testing.T) {
+	rows, err := FleetSweep(Options{Iterations: 1280, Seed: 13, CurvePoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byFleet := map[int][]FleetRow{}
+	for _, r := range rows {
+		byFleet[r.Groups] = append(byFleet[r.Groups], r)
+	}
+	for groups, cells := range byFleet {
+		// Cells are ordered slots 1, 2, 4, unlimited: queueing must fall
+		// weakly as repair bandwidth grows, hit exactly zero without a cap,
+		// and actually bite at a single slot (or the sweep tests nothing).
+		for i := 1; i < len(cells); i++ {
+			if cells[i].WaitFrac > cells[i-1].WaitFrac {
+				t.Errorf("fleet %d: wait fraction rose from %v to %v as slots grew",
+					groups, cells[i-1].WaitFrac, cells[i].WaitFrac)
+			}
+		}
+		last := cells[len(cells)-1]
+		if last.Slots != 0 || last.WaitFrac != 0 || last.MeanWaitH != 0 {
+			t.Errorf("fleet %d: unlimited-slot baseline accrued waits: %+v", groups, last)
+		}
+		if cells[0].WaitFrac == 0 {
+			t.Errorf("fleet %d: single repair slot never queued; sweep is vacuous", groups)
+		}
+		for _, c := range cells {
+			if c.DDFs <= 0 {
+				t.Errorf("fleet %d slots %d: no DDFs at base-case rates", groups, c.Slots)
+			}
+		}
+	}
+	// The bigger fleet on the same single crew must queue more.
+	if byFleet[64][0].WaitFrac <= byFleet[16][0].WaitFrac {
+		t.Errorf("64-group fleet queues %v, not above 16-group fleet's %v",
+			byFleet[64][0].WaitFrac, byFleet[16][0].WaitFrac)
+	}
+	if _, err := FleetSweep(Options{Iterations: 100, Seed: 1, CurvePoints: 4, BiasOp: 8}); err == nil {
+		t.Error("importance-sampled fleet sweep accepted")
+	}
+}

@@ -81,6 +81,62 @@ func NewParallelRepairChain(totalDrives, redundancy int, lambda, mu float64) (*C
 	return c, nil
 }
 
+// NewBoundedRepairChain builds the m-of-n birth–death data-loss chain
+// with a bounded repair crew: state k is "k drives failed", live drives
+// fail at (m-k)·lambda, at most `crews` rebuilds run concurrently so the
+// repair rate is min(k, crews)·mu, and redundancy+1 concurrent failures
+// are absorbing. crews >= redundancy reduces to NewParallelRepairChain
+// (every transient state has k <= redundancy crews busy).
+//
+// This is the analytic reference for the fleet engine's contended repair
+// server on a single group: the engine draws each TTR at the failure
+// instant and runs it in full from the repair-slot grant, which for
+// exponential TTR is — by memorylessness — indistinguishable from
+// rate-mu repair from the grant, and its greedy slot grants keep exactly
+// min(k, crews) rebuilds active. Its absorption probability from state 0
+// over the mission therefore equals the simulated P(at least one DDF)
+// exactly, not just asymptotically.
+func NewBoundedRepairChain(totalDrives, redundancy, crews int, lambda, mu float64) (*Chain, error) {
+	if redundancy < 1 {
+		return nil, fmt.Errorf("markov: bounded-repair chain needs redundancy >= 1, got %d", redundancy)
+	}
+	if totalDrives <= redundancy {
+		return nil, fmt.Errorf("markov: bounded-repair chain needs more than %d drives, got %d", redundancy, totalDrives)
+	}
+	if crews < 1 {
+		return nil, fmt.Errorf("markov: bounded-repair chain needs >= 1 repair crew, got %d", crews)
+	}
+	loss := redundancy + 1
+	labels := make([]string, loss+1)
+	for k := 0; k < loss; k++ {
+		labels[k] = fmt.Sprintf("%d-down", k)
+	}
+	labels[loss] = "data-loss"
+	c, err := New(loss+1, labels)
+	if err != nil {
+		return nil, err
+	}
+	m := float64(totalDrives)
+	for k := 0; k < loss; k++ {
+		if err := c.AddRate(k, k+1, (m-float64(k))*lambda); err != nil {
+			return nil, err
+		}
+		if k > 0 {
+			busy := k
+			if busy > crews {
+				busy = crews
+			}
+			if err := c.AddRate(k, k-1, float64(busy)*mu); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.SetAbsorbing(loss); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // State indices for the shared-component data-loss chain.
 const (
 	// SCAllGoodUp: no drive failed, component up.

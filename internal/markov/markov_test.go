@@ -344,3 +344,82 @@ func TestAbsorptionProbabilityMonotone(t *testing.T) {
 		prev = p
 	}
 }
+
+func TestBoundedRepairChainValidation(t *testing.T) {
+	if _, err := NewBoundedRepairChain(8, 0, 1, 1e-5, 0.1); err == nil {
+		t.Error("redundancy 0 accepted")
+	}
+	if _, err := NewBoundedRepairChain(2, 2, 1, 1e-5, 0.1); err == nil {
+		t.Error("too few drives accepted")
+	}
+	if _, err := NewBoundedRepairChain(8, 2, 0, 1e-5, 0.1); err == nil {
+		t.Error("zero repair crews accepted")
+	}
+}
+
+// With crews >= redundancy the bound never binds (every transient state
+// has at most `redundancy` drives down), so the bounded chain must be
+// rate-for-rate identical to the parallel-repair chain.
+func TestBoundedRepairChainUnboundedLimit(t *testing.T) {
+	const lambda, mu = 1.0 / 461386, 1.0 / 12
+	for _, red := range []int{1, 2, 3} {
+		bounded, err := NewBoundedRepairChain(8, red, red, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := NewParallelRepairChain(8, red, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < bounded.N(); i++ {
+			for j := 0; j < bounded.N(); j++ {
+				if bounded.Rate(i, j) != parallel.Rate(i, j) {
+					t.Errorf("redundancy %d: rate(%d,%d) = %v, parallel %v",
+						red, i, j, bounded.Rate(i, j), parallel.Rate(i, j))
+				}
+			}
+		}
+	}
+}
+
+// A single crew on a double-parity group is exactly the classic RAID 6
+// single-crew chain.
+func TestBoundedRepairChainSingleCrewMatchesDoubleParity(t *testing.T) {
+	const lambda, mu = 1.0 / 461386, 1.0 / 12
+	bounded, err := NewBoundedRepairChain(16, 2, 1, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := NewDoubleParityChain(16, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < bounded.N(); i++ {
+		for j := 0; j < bounded.N(); j++ {
+			if bounded.Rate(i, j) != dp.Rate(i, j) {
+				t.Errorf("rate(%d,%d) = %v, double-parity %v", i, j, bounded.Rate(i, j), dp.Rate(i, j))
+			}
+		}
+	}
+}
+
+// Fewer crews can only hurt: absorption probability over the mission is
+// monotone nonincreasing in the crew count.
+func TestBoundedRepairChainMonotoneInCrews(t *testing.T) {
+	const lambda, mu = 1.0 / 50000, 1.0 / 200
+	prev := 1.0
+	for _, crews := range []int{1, 2, 3} {
+		c, err := NewBoundedRepairChain(16, 3, crews, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.AbsorptionProbability(0, 87600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= 0 || p > prev+1e-15 {
+			t.Errorf("crews %d: absorption %v not decreasing from %v", crews, p, prev)
+		}
+		prev = p
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"raidrel/internal/campaign"
+	"raidrel/internal/sim"
 )
 
 // Handler returns raidreld's HTTP/JSON API:
@@ -109,22 +110,26 @@ type resultDoc struct {
 	// events, groups with at least one episode, and the onset rate per
 	// 1,000 groups. All omitted for flat campaigns, keeping the legacy
 	// wire form byte-identical.
-	UnavailEvents     int        `json:"unavail,omitempty"`
-	GroupsWithUnavail int        `json:"groups_with_unavail,omitempty"`
-	UnavailPer1000    float64    `json:"unavail_per_1000_groups,omitempty"`
-	P                 float64    `json:"p"`
-	CILo              float64    `json:"ci_lo"`
-	CIHi              float64    `json:"ci_hi"`
-	Confidence        float64    `json:"confidence"`
-	RelErr            *float64   `json:"rel_err,omitempty"`
-	ESS               float64    `json:"ess,omitempty"`
-	VRPairs           int        `json:"vr_pairs,omitempty"`
-	VRCoeff           float64    `json:"vr_coeff,omitempty"`
-	VRFactor          float64    `json:"vr_factor,omitempty"`
-	DDFsPer1000       float64    `json:"ddfs_per_1000_groups"`
-	Reason            string     `json:"reason"`
-	ElapsedS          float64    `json:"elapsed_s"`
-	Events            []eventDoc `json:"events"`
+	UnavailEvents     int     `json:"unavail,omitempty"`
+	GroupsWithUnavail int     `json:"groups_with_unavail,omitempty"`
+	UnavailPer1000    float64 `json:"unavail_per_1000_groups,omitempty"`
+	// Fleet carries the heal-backlog tally of fleet campaigns (coupled
+	// groups sharing spares and repair bandwidth); omitted for
+	// independent-group campaigns, keeping the legacy wire form intact.
+	Fleet       *sim.FleetTally `json:"fleet,omitempty"`
+	P           float64         `json:"p"`
+	CILo        float64         `json:"ci_lo"`
+	CIHi        float64         `json:"ci_hi"`
+	Confidence  float64         `json:"confidence"`
+	RelErr      *float64        `json:"rel_err,omitempty"`
+	ESS         float64         `json:"ess,omitempty"`
+	VRPairs     int             `json:"vr_pairs,omitempty"`
+	VRCoeff     float64         `json:"vr_coeff,omitempty"`
+	VRFactor    float64         `json:"vr_factor,omitempty"`
+	DDFsPer1000 float64         `json:"ddfs_per_1000_groups"`
+	Reason      string          `json:"reason"`
+	ElapsedS    float64         `json:"elapsed_s"`
+	Events      []eventDoc      `json:"events"`
 }
 
 func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
@@ -165,6 +170,10 @@ func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
 		doc.LdOpDDFs = run.LdOpDDFs
 		doc.UnavailEvents = run.UnavailEvents
 		doc.GroupsWithUnavail = run.GroupsWithUnavail()
+		if run.Fleet != nil {
+			fleet := *run.Fleet
+			doc.Fleet = &fleet
+		}
 		if res.Iterations > 0 {
 			total, _, _ := run.WeightedCauseTotals()
 			doc.DDFsPer1000 = total * 1000 / float64(res.Iterations)

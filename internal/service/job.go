@@ -88,6 +88,7 @@ func (js JobSpec) campaignSpec() (campaign.Spec, error) {
 		Confidence:    js.Confidence,
 		MaxIterations: js.Iterations,
 		MaxDuration:   time.Duration(js.MaxDurationS * float64(time.Second)),
+		Fleet:         js.Params.Fleet,
 	}
 	if js.Shard != nil {
 		start, end := js.Shard.Range(js.Iterations)

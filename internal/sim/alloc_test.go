@@ -15,6 +15,9 @@ import (
 // covers both engines, plain and with importance sampling active (the
 // tilted kernels must not reintroduce per-draw allocation).
 func TestSimulateIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the zero-alloc contract is gated in the non-race job")
+	}
 	engines := []struct {
 		name string
 		eng  IntoSimulator
@@ -85,6 +88,9 @@ func TestSimulateIntoZeroAlloc(t *testing.T) {
 // a warm event-engine chronology whose events fit the reused buffer must
 // still not touch the heap. All of topoScratch's state is pooled slices.
 func TestSimulateIntoZeroAllocCoupled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the zero-alloc contract is gated in the non-race job")
+	}
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
 	cfg := paperBaseConfig()
@@ -142,6 +148,9 @@ func TestSimulateIntoZeroAllocCoupled(t *testing.T) {
 func TestRunSparseMemoryFootprint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1M-iteration run skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the O(events) bound is gated in the non-race job")
 	}
 	var before, after runtime.MemStats
 	runtime.GC()

@@ -15,6 +15,10 @@ const (
 	// them.
 	evCompFail
 	evCompRestore
+	// evFleetSpare marks a failed slot's replacement drive arriving from a
+	// finite fleet spare pool: the slot may now enter the heal queue. Only
+	// the fleet engine schedules it.
+	evFleetSpare
 )
 
 // event is one scheduled occurrence in a group chronology. The struct is

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"raidrel/internal/dist"
@@ -25,34 +26,104 @@ func TestFleetValidation(t *testing.T) {
 	if err := withBadPool.Validate(); err == nil {
 		t.Error("invalid shared pool accepted")
 	}
+	if err := (FleetConfig{Groups: 2, Group: fastConfig(), MaxConcurrentRebuilds: -1}).Validate(); err == nil {
+		t.Error("negative rebuild cap accepted")
+	}
 }
 
-// A single-group fleet with unlimited spares must match the plain engine
-// in expectation (sampling order differs, so compare statistics).
-func TestFleetOfOneMatchesEngine(t *testing.T) {
+// Overflow and absurd-total rejection: Groups*Drives beyond the slot limit
+// (or beyond int range entirely) must fail with a descriptive error, never
+// wrap or try to allocate.
+func TestFleetValidationRejectsOverflow(t *testing.T) {
 	cfg := fastConfig()
-	cfg.Trans.TTLd = dist.MustExponential(5e-4)
-	cfg.Trans.TTScrub = dist.MustWeibull(3, 168, 6)
-	const iters = 4000
-	single, fleet := 0, 0
-	for i := 0; i < iters; i++ {
-		ddfs, err := (EventEngine{}).Simulate(cfg, rng.ForStream(600, uint64(i)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		single += len(ddfs)
-		groups, err := SimulateFleet(FleetConfig{Groups: 1, Group: cfg}, rng.ForStream(601, uint64(i)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		fleet += len(groups[0].DDFs)
+	huge := FleetConfig{Groups: math.MaxInt/cfg.Drives + 1, Group: cfg}
+	if err := huge.Validate(); err == nil {
+		t.Error("int-overflowing Groups*Drives accepted")
 	}
-	rel := float64(single-fleet) / float64(single)
-	if rel < 0 {
-		rel = -rel
+	absurd := FleetConfig{Groups: maxFleetDrives/cfg.Drives + 1, Group: cfg}
+	if err := absurd.Validate(); err == nil {
+		t.Error("absurd fleet total accepted")
 	}
-	if rel > 0.08 {
-		t.Errorf("fleet-of-one disagrees with engine: %d vs %d", fleet, single)
+	// The largest permitted fleet must still validate.
+	ok := FleetConfig{Groups: maxFleetDrives / cfg.Drives, Group: cfg}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("maximum permitted fleet rejected: %v", err)
+	}
+}
+
+// simulateFleetSeeded is the test shorthand: one chronology, per-group
+// streams base..base+Groups-1.
+func simulateFleetSeeded(t *testing.T, fc FleetConfig, seed, base uint64) ([]GroupDDFs, FleetStats) {
+	t.Helper()
+	res, st, err := SimulateFleet(fc, seed, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+// With unlimited repair slots and nil shared spares, every fleet group is
+// bit-identical to an independent EventEngine run on the same RNG stream:
+// the fleet engine's per-group streams and global-seq tie-breaks reproduce
+// the single-group chronologies exactly. This is the cross-validation
+// property test of the fleet engine's DDF semantics (its drifted
+// predecessors disagreed with the engine on defect bookkeeping).
+func TestFleetMatchesEngineBitIdentical(t *testing.T) {
+	cfgs := map[string]Config{
+		"NoDefects": fastConfig(),
+	}
+	withDefects := fastConfig()
+	withDefects.Trans.TTLd = dist.MustExponential(5e-4)
+	withDefects.Trans.TTScrub = dist.MustWeibull(3, 168, 6)
+	cfgs["Scrubbed"] = withDefects
+	noScrub := fastConfig()
+	noScrub.Trans.TTLd = dist.MustExponential(5e-4)
+	cfgs["NoScrub"] = noScrub
+	raid6 := fastConfig()
+	raid6.Redundancy = 2
+	raid6.Trans.TTLd = dist.MustExponential(8e-4)
+	raid6.Trans.TTScrub = dist.MustWeibull(3, 168, 6)
+	cfgs["Raid6"] = raid6
+
+	const (
+		seed       = 700
+		groups     = 16
+		chronStart = 0
+		chrons     = 40
+	)
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			mismatches, events := 0, 0
+			for c := chronStart; c < chrons; c++ {
+				base := uint64(c * groups)
+				fleet, _ := simulateFleetSeeded(t, FleetConfig{Groups: groups, Group: cfg}, seed, base)
+				for g := 0; g < groups; g++ {
+					single, err := (EventEngine{}).Simulate(cfg, rng.ForStream(seed, base+uint64(g)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					events += len(single)
+					if len(single) != len(fleet[g].DDFs) {
+						mismatches++
+						t.Errorf("chron %d group %d: fleet %d DDFs, engine %d", c, g, len(fleet[g].DDFs), len(single))
+						continue
+					}
+					for j := range single {
+						if single[j] != fleet[g].DDFs[j] {
+							mismatches++
+							t.Errorf("chron %d group %d event %d: fleet %+v, engine %+v", c, g, j, fleet[g].DDFs[j], single[j])
+							break
+						}
+					}
+				}
+				if mismatches > 5 {
+					t.Fatalf("too many mismatches; aborting")
+				}
+			}
+			if events == 0 {
+				t.Fatalf("no DDFs in %d groups; bit-identity test is vacuous", chrons*groups)
+			}
+		})
 	}
 }
 
@@ -65,10 +136,7 @@ func TestFleetScalesLinearlyWithoutSharing(t *testing.T) {
 	count := func(groups, iters int, seed uint64) float64 {
 		total := 0
 		for i := 0; i < iters; i++ {
-			res, err := SimulateFleet(FleetConfig{Groups: groups, Group: cfg}, rng.ForStream(seed, uint64(i)))
-			if err != nil {
-				t.Fatal(err)
-			}
+			res, _ := simulateFleetSeeded(t, FleetConfig{Groups: groups, Group: cfg}, seed, uint64(i*groups))
 			for _, gr := range res {
 				total += len(gr.DDFs)
 			}
@@ -94,14 +162,11 @@ func TestFleetSharedSpareContention(t *testing.T) {
 	run := func(pool *SparePolicy) int {
 		total := 0
 		for i := 0; i < 1200; i++ {
-			res, err := SimulateFleet(FleetConfig{
+			res, _ := simulateFleetSeeded(t, FleetConfig{
 				Groups:       4,
 				Group:        cfg,
 				SharedSpares: pool,
-			}, rng.ForStream(620, uint64(i)))
-			if err != nil {
-				t.Fatal(err)
-			}
+			}, 620, uint64(i*4))
 			for _, gr := range res {
 				total += len(gr.DDFs)
 			}
@@ -135,10 +200,7 @@ func TestFleetDDFsAreGroupLocal(t *testing.T) {
 	}
 	sawDDF := false
 	for i := 0; i < 400; i++ {
-		res, err := SimulateFleet(FleetConfig{Groups: 2, Group: cfg}, rng.ForStream(630, uint64(i)))
-		if err != nil {
-			t.Fatal(err)
-		}
+		res, _ := simulateFleetSeeded(t, FleetConfig{Groups: 2, Group: cfg}, 630, uint64(i*2))
 		for _, gr := range res {
 			for _, d := range gr.DDFs {
 				sawDDF = true
@@ -151,12 +213,7 @@ func TestFleetDDFsAreGroupLocal(t *testing.T) {
 	if !sawDDF {
 		t.Fatal("expected some within-group DDFs at these rates")
 	}
-	// The same fleet, but each group has 1 drive... not expressible (min 2
-	// drives); instead verify chronologies sorted per group.
-	res, err := SimulateFleet(FleetConfig{Groups: 3, Group: cfg}, rng.ForStream(631, 0))
-	if err != nil {
-		t.Fatal(err)
-	}
+	res, _ := simulateFleetSeeded(t, FleetConfig{Groups: 3, Group: cfg}, 631, 0)
 	for _, gr := range res {
 		for j := 1; j < len(gr.DDFs); j++ {
 			if gr.DDFs[j].Time < gr.DDFs[j-1].Time {

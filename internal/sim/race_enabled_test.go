@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is active. Race
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, so the strict zero-alloc guards skip themselves under -race
+// (the CI race job covers correctness; the plain job gates allocations).
+const raceEnabled = true

@@ -28,6 +28,17 @@ type RunSpec struct {
 	// [0,k) then [k,n) with Offset k concatenates to the same per-group
 	// results as one run of n iterations.
 	Offset int
+
+	// Fleet switches the run to fleet chronologies: each dispatch
+	// simulates Fleet.Groups coupled groups (shared spares, bounded repair
+	// bandwidth) in one chronology via SimulateFleetInto. Iterations still
+	// counts groups — it must be a multiple of Fleet.Groups, as must
+	// Offset — and group i keeps drawing from stream Offset+i, so an
+	// uncontended fleet run observes the exact per-group stream a scalar
+	// event-engine run would. Engine must be nil; collectors implementing
+	// FleetObserver additionally receive each chronology's heal-backlog
+	// statistics.
+	Fleet *FleetOptions
 }
 
 // RunResult aggregates a campaign.
@@ -169,6 +180,12 @@ func RunCollect(spec RunSpec, c Collector) error {
 	}
 	if workers > spec.Iterations {
 		workers = spec.Iterations
+	}
+	if spec.Fleet != nil {
+		if spec.Engine != nil {
+			return fmt.Errorf("sim: fleet runs use the dedicated fleet engine; Engine must be nil, got %T", spec.Engine)
+		}
+		return runCollectFleet(spec, workers, c)
 	}
 	engine := spec.Engine
 	if engine == nil {
@@ -411,6 +428,109 @@ func runCollectBlocks(spec RunSpec, be BlockEngine, workers int, c Collector) er
 		}
 		h.recycle()
 		blockHandoffPool.Put(h)
+	}
+	return nil
+}
+
+// fleetWindow is each fleet worker's output-channel depth; chronologies
+// are whole fleets, so a shallow window hides merge jitter.
+const fleetWindow = 4
+
+// fleetHandoff is one simulated fleet chronology crossing from a worker to
+// the merger: the sparse event-bearing groups (idx is the group index
+// within the chronology) plus the chronology's backlog statistics.
+type fleetHandoff struct {
+	ev    []blockEv
+	stats FleetStats
+	err   error
+}
+
+var fleetHandoffPool = sync.Pool{New: func() any { return new(fleetHandoff) }}
+
+func (h *fleetHandoff) recycle() {
+	for i := range h.ev {
+		h.ev[i].ddfs = nil
+	}
+	h.ev = h.ev[:0]
+	h.stats = FleetStats{}
+	h.err = nil
+}
+
+// runCollectFleet is RunCollect's fleet path: worker w simulates whole
+// fleet chronologies b ≡ w (mod workers), and the merger round-robins
+// them back into the same strict per-group Observe order the scalar path
+// produces — group index Offset+b·Groups+g draws from stream Offset+i
+// exactly like scalar iteration i, bit-identical for any worker count.
+func runCollectFleet(spec RunSpec, workers int, c Collector) error {
+	fc := spec.Fleet.Config(spec.Config)
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	groups := fc.Groups
+	if spec.Iterations%groups != 0 {
+		return fmt.Errorf("sim: fleet runs need iterations (%d) in whole chronologies of %d groups", spec.Iterations, groups)
+	}
+	if spec.Offset%groups != 0 {
+		return fmt.Errorf("sim: fleet stream offset (%d) must be a multiple of the fleet size (%d)", spec.Offset, groups)
+	}
+	chrons := spec.Iterations / groups
+	if workers > chrons {
+		workers = chrons
+	}
+
+	done := make(chan struct{})
+	defer close(done)
+	chans := make([]chan *fleetHandoff, workers)
+	for w := 0; w < workers; w++ {
+		chans[w] = make(chan *fleetHandoff, fleetWindow)
+		go func(w int, out chan<- *fleetHandoff) {
+			for b := w; b < chrons; b += workers {
+				h := fleetHandoffPool.Get().(*fleetHandoff)
+				h.recycle()
+				base := uint64(spec.Offset + b*groups)
+				h.err = SimulateFleetInto(fc, spec.Seed, base, func(g int, ddfs []DDF) {
+					// The visit slice is engine scratch; copy the rare
+					// event-bearing group out, like the scalar path does.
+					cp := make([]DDF, len(ddfs))
+					copy(cp, ddfs)
+					h.ev = append(h.ev, blockEv{idx: g, ddfs: cp})
+				}, &h.stats)
+				// The merger owns h the moment it is sent (it recycles and
+				// re-pools it), so latch the error before handing it off.
+				failed := h.err != nil
+				select {
+				case out <- h:
+					if failed {
+						return
+					}
+				case <-done:
+					return
+				}
+			}
+		}(w, chans[w])
+	}
+
+	fleetObs, hasFleetObs := c.(FleetObserver)
+	for b := 0; b < chrons; b++ {
+		h := <-chans[b%workers]
+		if h.err != nil {
+			return h.err
+		}
+		base := b * groups
+		evi := 0
+		for g := 0; g < groups; g++ {
+			var ddfs []DDF
+			if evi < len(h.ev) && h.ev[evi].idx == g {
+				ddfs = h.ev[evi].ddfs
+				evi++
+			}
+			c.Observe(base+g, ddfs, 0)
+		}
+		if hasFleetObs {
+			fleetObs.ObserveFleetChronology(groups, h.stats)
+		}
+		h.recycle()
+		fleetHandoffPool.Put(h)
 	}
 	return nil
 }

@@ -35,11 +35,16 @@ func (p *SparePolicy) Validate() error {
 	return nil
 }
 
-// sparePool is the engine-side state of a SparePolicy.
+// sparePool is the engine-side state of a SparePolicy. Consumed orders
+// advance a head index instead of re-slicing the front, so the backing
+// array survives reset and a pooled engine's steady-state failures
+// allocate nothing once the array has grown to the chronology's order
+// depth.
 type sparePool struct {
 	policy *SparePolicy
 	stock  int
 	orders []float64 // arrival times of outstanding orders, ascending
+	head   int       // orders[:head] have been consumed
 }
 
 // newSparePool returns engine state, or nil for the infinite-spares
@@ -51,27 +56,47 @@ func newSparePool(p *SparePolicy) *sparePool {
 	return &sparePool{policy: p, stock: p.Initial}
 }
 
+// reset re-arms the pool for a new chronology under policy p (which may be
+// nil: every rebuildStart then returns its argument), keeping the orders
+// backing array.
+func (s *sparePool) reset(p *SparePolicy) {
+	s.policy = p
+	s.stock = 0
+	if p != nil {
+		s.stock = p.Initial
+	}
+	s.orders = s.orders[:0]
+	s.head = 0
+}
+
 // rebuildStart registers a failure at time t and returns when its rebuild
 // can begin.
 func (s *sparePool) rebuildStart(t float64) float64 {
-	if s == nil {
+	if s == nil || s.policy == nil {
 		return t
 	}
 	// Materialize orders that have arrived by now.
-	for len(s.orders) > 0 && s.orders[0] <= t {
+	for s.head < len(s.orders) && s.orders[s.head] <= t {
 		s.stock++
-		s.orders = s.orders[1:]
+		s.head++
+	}
+	if s.head == len(s.orders) {
+		// Fully drained: rewind so the backing array is reused.
+		s.orders = s.orders[:0]
+		s.head = 0
 	}
 	// Place the replacement order for this failure. Orders share a fixed
 	// lead time and failures are processed in time order, so the slice
-	// stays sorted.
+	// stays sorted. Simultaneous failures append in processing order:
+	// each claims its own order, so ties neither lose nor double-count a
+	// replenishment.
 	s.orders = append(s.orders, t+s.policy.ReplenishHours)
 	if s.stock > 0 {
 		s.stock--
 		return t
 	}
 	// Claim the earliest outstanding order.
-	start := s.orders[0]
-	s.orders = s.orders[1:]
+	start := s.orders[s.head]
+	s.head++
 	return start
 }

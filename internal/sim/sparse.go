@@ -66,6 +66,9 @@ type SparseResult struct {
 	// VR-enabled block simulation; nil otherwise. Blocks are in iteration
 	// order, matching the Events index.
 	VR *VRTally
+	// Fleet holds the aggregated heal-backlog tallies when the run
+	// simulated fleet chronologies (RunSpec.Fleet); nil otherwise.
+	Fleet *FleetTally
 
 	// mu guards every field. The per-iteration Observe cost is one
 	// uncontended lock/unlock — noise next to a chronology simulation —
@@ -99,6 +102,120 @@ func (r *SparseResult) Observe(iteration int, ddfs []DDF, logW float64) {
 		r.tallyOne(d.Cause)
 	}
 	r.invalidateLocked()
+}
+
+// FleetObserver is implemented by collectors that want each fleet
+// chronology's heal-backlog statistics alongside the per-group DDF stream.
+// The runner calls it once per chronology, in chronology order, after that
+// chronology's groups have been observed.
+type FleetObserver interface {
+	ObserveFleetChronology(groups int, st FleetStats)
+}
+
+// FleetTally aggregates heal-backlog statistics across the fleet
+// chronologies of a run: sums for the extensive quantities, maxima for
+// the worst-case ones. The JSON form is the checkpoint/wire
+// representation.
+type FleetTally struct {
+	// Chronologies counts fleet chronologies tallied; GroupsPer is the
+	// fleet size each simulated.
+	Chronologies int `json:"chronologies"`
+	GroupsPer    int `json:"groups_per_chronology"`
+	// Failures, Rebuilds, Waited, ActiveAtEnd, and QueuedAtEnd sum the
+	// per-chronology counts (see FleetStats); the conservation invariant
+	// Failures == Rebuilds + ActiveAtEnd + QueuedAtEnd survives summation.
+	Failures    int `json:"failures"`
+	Rebuilds    int `json:"rebuilds"`
+	Waited      int `json:"waited"`
+	ActiveAtEnd int `json:"active_at_end"`
+	QueuedAtEnd int `json:"queued_at_end"`
+	// TotalWaitHours sums every rebuild's failure-to-start wait across
+	// chronologies; MaxWaitHours and MaxQueueDepth are the worst single
+	// wait and peak queue depth seen in any chronology.
+	TotalWaitHours float64 `json:"total_wait_hours"`
+	MaxWaitHours   float64 `json:"max_wait_hours"`
+	MaxQueueDepth  int     `json:"max_queue_depth"`
+	// MeanDepthSum sums the per-chronology time-averaged queue depths;
+	// divide by Chronologies (MeanQueueDepth) for the run average.
+	MeanDepthSum float64 `json:"mean_depth_sum"`
+	// MaxExposureHours is the longest degradation episode of any group in
+	// any chronology.
+	MaxExposureHours float64 `json:"max_exposure_hours"`
+}
+
+// add folds one chronology's statistics into the tally.
+func (t *FleetTally) add(groups int, st FleetStats) {
+	t.Chronologies++
+	t.GroupsPer = groups
+	t.Failures += st.Failures
+	t.Rebuilds += st.Rebuilds
+	t.Waited += st.Waited
+	t.ActiveAtEnd += st.ActiveAtEnd
+	t.QueuedAtEnd += st.QueuedAtEnd
+	t.TotalWaitHours += st.TotalWaitHours
+	if st.MaxWaitHours > t.MaxWaitHours {
+		t.MaxWaitHours = st.MaxWaitHours
+	}
+	if st.MaxQueueDepth > t.MaxQueueDepth {
+		t.MaxQueueDepth = st.MaxQueueDepth
+	}
+	t.MeanDepthSum += st.MeanQueueDepth
+	if st.MaxExposureHours > t.MaxExposureHours {
+		t.MaxExposureHours = st.MaxExposureHours
+	}
+}
+
+// merge folds another tally in, preserving the same invariants Merge
+// gives the event stream: tallying runs [0,k) and [k,n) separately and
+// merging equals tallying [0,n) at once.
+func (t *FleetTally) merge(o *FleetTally) {
+	t.Chronologies += o.Chronologies
+	if o.GroupsPer != 0 {
+		t.GroupsPer = o.GroupsPer
+	}
+	t.Failures += o.Failures
+	t.Rebuilds += o.Rebuilds
+	t.Waited += o.Waited
+	t.ActiveAtEnd += o.ActiveAtEnd
+	t.QueuedAtEnd += o.QueuedAtEnd
+	t.TotalWaitHours += o.TotalWaitHours
+	if o.MaxWaitHours > t.MaxWaitHours {
+		t.MaxWaitHours = o.MaxWaitHours
+	}
+	if o.MaxQueueDepth > t.MaxQueueDepth {
+		t.MaxQueueDepth = o.MaxQueueDepth
+	}
+	t.MeanDepthSum += o.MeanDepthSum
+	if o.MaxExposureHours > t.MaxExposureHours {
+		t.MaxExposureHours = o.MaxExposureHours
+	}
+}
+
+// MeanQueueDepth is the run-average time-averaged heal-queue depth.
+func (t *FleetTally) MeanQueueDepth() float64 {
+	if t.Chronologies == 0 {
+		return 0
+	}
+	return t.MeanDepthSum / float64(t.Chronologies)
+}
+
+// MeanWaitHours is the average failure-to-rebuild-start wait per failure.
+func (t *FleetTally) MeanWaitHours() float64 {
+	if t.Failures == 0 {
+		return 0
+	}
+	return t.TotalWaitHours / float64(t.Failures)
+}
+
+// ObserveFleetChronology implements FleetObserver, accumulating the
+// chronology into the Fleet tally.
+func (r *SparseResult) ObserveFleetChronology(groups int, st FleetStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Fleet == nil {
+		r.Fleet = &FleetTally{}
+	}
+	r.Fleet.add(groups, st)
 }
 
 // ObserveVRBlock implements VRBlockObserver: it appends one completed
@@ -167,6 +284,12 @@ func (r *SparseResult) Merge(other *SparseResult) {
 			r.VR = &VRTally{BlockSize: other.VR.BlockSize, EZ: other.VR.EZ}
 		}
 		r.VR.merge(other.VR)
+	}
+	if other.Fleet != nil {
+		if r.Fleet == nil {
+			r.Fleet = &FleetTally{}
+		}
+		r.Fleet.merge(other.Fleet)
 	}
 	r.invalidateLocked()
 }

@@ -24,7 +24,7 @@ MAX_PCT="${MAX_REGRESSION_PCT:-10}"
 # The pinned set: small, stable benchmarks that cover the per-draw kernels
 # and the end-to-end engine iteration. Sub-benchmarks of the listed names
 # are included.
-PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|BenchmarkEngineTimelineInto|BenchmarkEngineTimelineFlatTopoInto|BenchmarkEngineTimelineBiasedInto|BenchmarkEngineSequentialInto|BenchmarkEngineSequentialBiasedInto|BenchmarkEngineBlockInto|BenchmarkEngineBlockBiasedInto|BenchmarkEngineBlockVRInto)$'
+PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|BenchmarkEngineTimelineInto|BenchmarkEngineTimelineFlatTopoInto|BenchmarkEngineTimelineBiasedInto|BenchmarkEngineSequentialInto|BenchmarkEngineSequentialBiasedInto|BenchmarkEngineBlockInto|BenchmarkEngineBlockBiasedInto|BenchmarkEngineBlockVRInto|BenchmarkFleetInto)$'
 # The batched engine must hold its headline speedup over the scalar
 # interval engine (BENCH_sim.json): block median <= sequential/MIN_SPEEDUP.
 MIN_SPEEDUP="${MIN_BLOCK_SPEEDUP:-1.5}"
@@ -166,3 +166,14 @@ go test ./internal/campaign/ -run '^TestVREfficiencyFigure$' -count 1 >/dev/null
   exit 1
 }
 echo "benchgate: efficiency figure OK"
+
+# Fleet-scale allocation gate: a warm fleet chronology (10^5 idle groups,
+# and a smaller busy contended fleet) must stay at 0 steady-state heap
+# allocations — the property that makes million-group fleet sweeps
+# tractable (BENCH_sim.json BenchmarkFleetInto).
+echo "benchgate: checking fleet zero-alloc guard"
+go test ./internal/sim/ -run '^TestFleetIntoZeroAlloc' -count 1 >/dev/null || {
+  echo "benchgate: FAIL — TestFleetIntoZeroAlloc regressed (fleet chronologies allocate in steady state)"
+  exit 1
+}
+echo "benchgate: fleet zero-alloc guard OK"
