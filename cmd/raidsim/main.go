@@ -20,7 +20,7 @@
 //	        [-max-iterations N] [-max-duration 1h] [-batch 1000]
 //	        [-checkpoint c.json] [-resume c.json] [-progress[=json]]
 //	        [-bias 4] [-bias-ld 1]
-//	        [-vr antithetic,stratify,cv] [-batch-block 256]
+//	        [-vr antithetic,stratify,cv|cond] [-batch-block 256]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -topology loads a component topology — the shared failure domains
@@ -53,8 +53,11 @@
 // fewer iterations at unchanged expectation.
 //
 // -vr stacks block-level variance reduction on top (see DESIGN.md §12):
-// antithetic stream pairs, stratified first-failure quantiles, and/or the
-// analytic control variate ("cv"; "all" enables every technique). Any -vr
+// antithetic stream pairs, stratified first-failure quantiles, and a
+// control — the indicator control variate ("cv") for no-scrub regimes, or
+// the conditional-DDF variate ("cond") for scrubbed ones, where the
+// indicator loses its correlation ("all" enables antithetic+stratify+cv;
+// "cond" requires a memoryless defect process and excludes "cv"). Any -vr
 // value, or a bare -batch-block, routes the run through the batched block
 // engine, which is bit-identical to the scalar engines when no technique
 // is enabled.
@@ -124,7 +127,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.Var(&progress, "progress", "adaptive: stream per-batch telemetry to stderr; -progress means text, -progress=json emits one JSON object per batch")
 	bias := fs.Float64("bias", 0, "importance sampling: operational-failure hazard scale factor (0 or 1 = off)")
 	biasLd := fs.Float64("bias-ld", 0, "importance sampling: latent-defect hazard scale factor (0 or 1 = off; rarely useful, see DESIGN.md)")
-	vrFlag := fs.String("vr", "", "variance reduction: comma list of antithetic, stratify, cv — or all (empty = off)")
+	vrFlag := fs.String("vr", "", "variance reduction: comma list of antithetic, stratify, cv, cond — or all (empty = off)")
 	batchBlock := fs.Int("batch-block", 0, "block engine batch length / VR block size (0 = default; setting it routes through the block engine)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
@@ -297,6 +300,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if camp.VRFactor > 0 {
 			fmt.Fprintf(out, "               variance reduction: %.2fx fewer iterations to equal precision (%d antithetic pairs, control coeff %.3g)\n",
 				camp.VRFactor, camp.VRPairs, camp.VRCoeff)
+			if bd := camp.VRByVariate; bd != nil {
+				fmt.Fprintf(out, "               per variate:")
+				for _, v := range []struct {
+					name string
+					f    float64
+				}{{"antithetic", bd.Antithetic}, {"stratified", bd.Stratified}, {"control", bd.Control}, {"cond", bd.Cond}} {
+					if v.f > 0 {
+						fmt.Fprintf(out, " %s %.2fx", v.name, v.f)
+					}
+				}
+				fmt.Fprintln(out)
+			}
 		}
 	}
 	cmp, err := m.CompareWithMTTDL(res, *mission)
@@ -321,10 +336,12 @@ func parseVR(s string) (sim.VR, error) {
 			v.Stratify = true
 		case "cv", "control-variate":
 			v.ControlVariate = true
+		case "cond", "cond-variate":
+			v.CondVariate = true
 		case "all":
 			v.Antithetic, v.Stratify, v.ControlVariate = true, true, true
 		default:
-			return sim.VR{}, fmt.Errorf("-vr: unknown technique %q (want antithetic, stratify, cv, or all)", strings.TrimSpace(tok))
+			return sim.VR{}, fmt.Errorf("-vr: unknown technique %q (want antithetic, stratify, cv, cond, or all)", strings.TrimSpace(tok))
 		}
 	}
 	return v, nil

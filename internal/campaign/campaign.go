@@ -299,6 +299,9 @@ type Result struct {
 	// variance, ≈ how many plain iterations one VR iteration is worth.
 	// Zero until measurable.
 	VRFactor float64
+	// VRByVariate attributes VRFactor to the individual techniques; nil
+	// until VRFactor is measurable or when VR is off.
+	VRByVariate *VRBreakdown
 	// Fleet aggregates the heal-backlog statistics of a fleet campaign
 	// (Spec.Fleet); nil otherwise. It aliases Run.Fleet.
 	Fleet *sim.FleetTally
@@ -470,7 +473,7 @@ func assembleVR(spec Spec, vr *sim.VRTally, res *Result) {
 	}
 	var ci stats.Interval
 	var err error
-	if spec.Config.VR.ControlVariate {
+	if spec.Config.VR.AnyControl() {
 		ci, res.VRCoeff, err = stats.ControlVariateCI(ys, zs, vr.EZ, spec.Confidence)
 	} else {
 		ci, err = stats.NormalMeanCI(ys, spec.Confidence)
@@ -490,10 +493,86 @@ func assembleVR(spec Spec, vr *sim.VRTally, res *Result) {
 			res.VRFactor = (naiveHalf / half) * (naiveHalf / half)
 		}
 	}
+	res.VRByVariate = vrBreakdown(spec.Config.VR, vr, ys, zs, res.VRFactor)
 	// The normal interval over block means can cross zero; the estimand is
 	// a probability, so clamp for display after the relative-error math.
 	if ci.Lo < 0 {
 		ci.Lo = 0
 	}
 	res.CI = ci
+}
+
+// VRBreakdown attributes the campaign's overall variance-reduction factor
+// to the individual techniques. Each field is the multiplicative factor
+// credited to that technique (how many plain iterations one of its
+// iterations is worth); fields for techniques that are off stay zero. The
+// attribution is a diagnostic, not an exact decomposition: antithetic and
+// control credits come from their own sample statistics, and stratification
+// receives the residual, so interaction effects land on Stratified.
+type VRBreakdown struct {
+	// Antithetic is v₁/(v₁+cov): the per-sample variance against the pair
+	// co-moment, the classical antithetic gain.
+	Antithetic float64 `json:"antithetic,omitempty"`
+	// Stratified is the residual factor VRFactor/(Antithetic·control) —
+	// what remains of the measured total after the other credits.
+	Stratified float64 `json:"stratified,omitempty"`
+	// Control is 1/(1-r²) for the indicator control variate.
+	Control float64 `json:"control,omitempty"`
+	// Cond is 1/(1-r²) for the conditional-DDF variate.
+	Cond float64 `json:"cond,omitempty"`
+}
+
+// vrBreakdown computes the per-variate attribution from the block tallies.
+// Returns nil until the total factor is measurable.
+func vrBreakdown(v sim.VR, vr *sim.VRTally, ys, zs []float64, total float64) *VRBreakdown {
+	if !(total > 0) {
+		return nil
+	}
+	bd := &VRBreakdown{}
+	if v.Antithetic {
+		var sumY, sumY2, sumC float64
+		var n, p int
+		for _, b := range vr.Blocks {
+			sumY += b.Y
+			sumY2 += b.Y2
+			sumC += b.C
+			n += b.N
+			p += b.P
+		}
+		if p > 0 && n > 0 {
+			mean := sumY / float64(n)
+			v1 := sumY2/float64(n) - mean*mean
+			cov := sumC/float64(p) - mean*mean
+			if v1 > 0 && v1+cov > 0 {
+				bd.Antithetic = v1 / (v1 + cov)
+			}
+		}
+	}
+	if v.AnyControl() {
+		var acc stats.CVAccum
+		for i := range ys {
+			acc.Add(ys[i], zs[i])
+		}
+		f := total // cap: a control cannot be credited more than the total
+		if r2 := acc.R2(); r2 < 1 {
+			if g := 1 / (1 - r2); g < f || !(f > 1) {
+				f = g
+			}
+		}
+		if v.CondVariate {
+			bd.Cond = f
+		} else {
+			bd.Control = f
+		}
+	}
+	if v.Stratify {
+		denom := 1.0
+		for _, f := range []float64{bd.Antithetic, bd.Control, bd.Cond} {
+			if f > 0 {
+				denom *= f
+			}
+		}
+		bd.Stratified = total / denom
+	}
+	return bd
 }

@@ -257,8 +257,14 @@ func decodeCheckpoint(data []byte, spec Spec) (*sim.SparseResult, int, error) {
 		if doc.VR.BlockSize <= 0 {
 			return nil, 0, fmt.Errorf("vr: block size %d not positive", doc.VR.BlockSize)
 		}
-		if math.IsNaN(doc.VR.EZ) || doc.VR.EZ < 0 || doc.VR.EZ > 1 {
-			return nil, 0, fmt.Errorf("vr: control expectation %v outside [0, 1]", doc.VR.EZ)
+		// The indicator control is a probability; the conditional-DDF
+		// variate is a per-group count bounded by the drive count.
+		ezMax := 1.0
+		if spec.Config.VR.CondVariate {
+			ezMax = float64(spec.Config.Drives)
+		}
+		if math.IsNaN(doc.VR.EZ) || doc.VR.EZ < 0 || doc.VR.EZ > ezMax {
+			return nil, 0, fmt.Errorf("vr: control expectation %v outside [0, %v]", doc.VR.EZ, ezMax)
 		}
 		total := 0
 		for i, b := range doc.VR.Blocks {

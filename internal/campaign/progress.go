@@ -40,6 +40,9 @@ type Snapshot struct {
 	VRPairs  int
 	VRCoeff  float64
 	VRFactor float64
+	// VRByVariate attributes VRFactor to the individual techniques; nil
+	// until the factor is measurable or when VR is off.
+	VRByVariate *VRBreakdown
 	// Rate is iterations per second in this process (0 until measurable).
 	Rate float64
 	// Elapsed is wall-clock time in this process's campaign loop.
@@ -57,27 +60,28 @@ type Snapshot struct {
 // ETAs are omitted rather than encoded). It is the line format of
 // JSONProgress and the frame format of the raidreld streaming endpoint.
 type snapshotJSON struct {
-	Iterations    int      `json:"iterations"`
-	Batches       int      `json:"batches"`
-	TotalDDFs     int      `json:"ddfs"`
-	OpOpDDFs      int      `json:"ddfs_op_op"`
-	LdOpDDFs      int      `json:"ddfs_ld_op"`
-	UnavailEvents int      `json:"unavail,omitempty"`
-	GroupsWithDDF int      `json:"groups_with_ddf"`
-	P             float64  `json:"p"`
-	CILo          float64  `json:"ci_lo"`
-	CIHi          float64  `json:"ci_hi"`
-	Confidence    float64  `json:"confidence,omitempty"`
-	RelErr        *float64 `json:"rel_err,omitempty"`
-	ESS           float64  `json:"ess,omitempty"`
-	VRPairs       int      `json:"vr_pairs,omitempty"`
-	VRCoeff       float64  `json:"vr_coeff,omitempty"`
-	VRFactor      float64  `json:"vr_factor,omitempty"`
-	Rate          float64  `json:"rate,omitempty"`
-	ElapsedS      float64  `json:"elapsed_s"`
-	ETAS          *float64 `json:"eta_s,omitempty"`
-	Done          bool     `json:"done,omitempty"`
-	Reason        string   `json:"reason,omitempty"`
+	Iterations    int          `json:"iterations"`
+	Batches       int          `json:"batches"`
+	TotalDDFs     int          `json:"ddfs"`
+	OpOpDDFs      int          `json:"ddfs_op_op"`
+	LdOpDDFs      int          `json:"ddfs_ld_op"`
+	UnavailEvents int          `json:"unavail,omitempty"`
+	GroupsWithDDF int          `json:"groups_with_ddf"`
+	P             float64      `json:"p"`
+	CILo          float64      `json:"ci_lo"`
+	CIHi          float64      `json:"ci_hi"`
+	Confidence    float64      `json:"confidence,omitempty"`
+	RelErr        *float64     `json:"rel_err,omitempty"`
+	ESS           float64      `json:"ess,omitempty"`
+	VRPairs       int          `json:"vr_pairs,omitempty"`
+	VRCoeff       float64      `json:"vr_coeff,omitempty"`
+	VRFactor      float64      `json:"vr_factor,omitempty"`
+	VRBreakdown   *VRBreakdown `json:"vr_breakdown,omitempty"`
+	Rate          float64      `json:"rate,omitempty"`
+	ElapsedS      float64      `json:"elapsed_s"`
+	ETAS          *float64     `json:"eta_s,omitempty"`
+	Done          bool         `json:"done,omitempty"`
+	Reason        string       `json:"reason,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with the snapshotJSON wire form.
@@ -98,6 +102,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		VRPairs:       s.VRPairs,
 		VRCoeff:       s.VRCoeff,
 		VRFactor:      s.VRFactor,
+		VRBreakdown:   s.VRByVariate,
 		Rate:          s.Rate,
 		ElapsedS:      s.Elapsed.Seconds(),
 		Done:          s.Done,
@@ -138,6 +143,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 		VRPairs:       doc.VRPairs,
 		VRCoeff:       doc.VRCoeff,
 		VRFactor:      doc.VRFactor,
+		VRByVariate:   doc.VRBreakdown,
 		Rate:          doc.Rate,
 		Elapsed:       time.Duration(doc.ElapsedS * float64(time.Second)),
 		ETA:           -1,
@@ -195,6 +201,7 @@ func report(spec Spec, res *Result, start time.Time, done bool) {
 		VRPairs:       res.VRPairs,
 		VRCoeff:       res.VRCoeff,
 		VRFactor:      res.VRFactor,
+		VRByVariate:   res.VRByVariate,
 		Elapsed:       res.Elapsed,
 		ETA:           -1,
 		Done:          done,
@@ -301,10 +308,29 @@ func phat(s Snapshot) float64 {
 }
 
 func vrString(s Snapshot) string {
-	if s.VRFactor > 0 {
-		return fmt.Sprintf(" vr=%.2gx", s.VRFactor)
+	if s.VRFactor <= 0 {
+		return ""
 	}
-	return ""
+	out := fmt.Sprintf(" vr=%.2gx", s.VRFactor)
+	if bd := s.VRByVariate; bd != nil {
+		parts := ""
+		appendPart := func(name string, f float64) {
+			if f > 0 {
+				if parts != "" {
+					parts += " "
+				}
+				parts += fmt.Sprintf("%s=%.2gx", name, f)
+			}
+		}
+		appendPart("anti", bd.Antithetic)
+		appendPart("strat", bd.Stratified)
+		appendPart("cv", bd.Control)
+		appendPart("cond", bd.Cond)
+		if parts != "" {
+			out += " (" + parts + ")"
+		}
+	}
+	return out
 }
 
 func unavailString(s Snapshot) string {

@@ -32,7 +32,27 @@ func vrSpec() Spec {
 func TestVRKillResumeEqualsUninterrupted(t *testing.T) {
 	spec := vrSpec()
 	spec.TargetRelErr = 0.15
+	testKillResume(t, spec)
+}
 
+// TestCondVRKillResumeEqualsUninterrupted is the same guarantee for the
+// conditional-DDF variate on the scrubbed base case: the checkpoint carries
+// the [0, drives] expectation and the count-valued Z sums, and the resumed
+// campaign must still match bit-for-bit.
+func TestCondVRKillResumeEqualsUninterrupted(t *testing.T) {
+	cfg := scrubBaseConfig()
+	cfg.VR = sim.VR{Antithetic: true, Stratify: true, CondVariate: true, BlockSize: 64}
+	spec := Spec{
+		Config:       cfg,
+		Seed:         77,
+		BatchSize:    1024,
+		TargetRelErr: 0.015,
+	}
+	testKillResume(t, spec)
+}
+
+func testKillResume(t *testing.T, spec Spec) {
+	t.Helper()
 	want, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +108,9 @@ func TestVRKillResumeEqualsUninterrupted(t *testing.T) {
 	if got.VRPairs != want.VRPairs || got.VRCoeff != want.VRCoeff || got.VRFactor != want.VRFactor {
 		t.Errorf("VR diagnostics differ: resumed (%d, %v, %v) vs uninterrupted (%d, %v, %v)",
 			got.VRPairs, got.VRCoeff, got.VRFactor, want.VRPairs, want.VRCoeff, want.VRFactor)
+	}
+	if !reflect.DeepEqual(got.VRByVariate, want.VRByVariate) {
+		t.Errorf("VR breakdown differs: resumed %+v vs uninterrupted %+v", got.VRByVariate, want.VRByVariate)
 	}
 }
 
@@ -261,6 +284,7 @@ func TestSnapshotVRJSONRoundTrip(t *testing.T) {
 		VRPairs:       2048,
 		VRCoeff:       0.83,
 		VRFactor:      3.7,
+		VRByVariate:   &VRBreakdown{Antithetic: 1.2, Stratified: 1.1, Cond: 5.9},
 		ETA:           -1,
 	}
 	data, err := json.Marshal(s)
@@ -280,7 +304,7 @@ func TestSnapshotVRJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"vr_pairs", "vr_coeff", "vr_factor"} {
+	for _, key := range []string{"vr_pairs", "vr_coeff", "vr_factor", "vr_breakdown"} {
 		if jsonHasKey(off, key) {
 			t.Errorf("VR-off snapshot emitted %q: %s", key, off)
 		}
@@ -372,5 +396,85 @@ func TestVREfficiencyFigure(t *testing.T) {
 	}
 	if vr.VRFactor < 2 {
 		t.Errorf("variance-reduction factor %.2f, want >= 2", vr.VRFactor)
+	}
+}
+
+// scrubBaseConfig is the paper's scrubbed base case (the Table 3 scrub row /
+// Fig. 7 lower curve): full Weibull parameterization with the 168-hour
+// scrub cycle. Scrubbing erases defect persistence, so the indicator
+// control loses nearly all its correlation and the conditional-DDF variate
+// is the technique that matters here.
+func scrubBaseConfig() sim.Config {
+	cfg := noScrubBaseConfig()
+	cfg.Trans.TTScrub = dist.MustWeibull(3, 168, 6)
+	return cfg
+}
+
+// TestVREfficiencyFigureScrubbed is the scrubbed-regime counterpart of
+// TestVREfficiencyFigure, gated by scripts/benchgate.sh: with the
+// conditional-DDF variate replacing the indicator control, the stacked
+// estimator must reach the ±1% relative-CI target with at least 3× fewer
+// iterations than the plain Wilson campaign — the headline claim of the
+// cond-variate work. (Measured headroom is ~2× above the gate at the batch
+// granularity below.)
+func TestVREfficiencyFigureScrubbed(t *testing.T) {
+	const target = 0.01
+	cfg := scrubBaseConfig()
+
+	plain, err := Run(context.Background(), Spec{
+		Config:       cfg,
+		Seed:         7,
+		BatchSize:    2048,
+		TargetRelErr: target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Reason != StopTarget {
+		t.Fatalf("plain campaign stopped for %v, want target", plain.Reason)
+	}
+
+	vrCfg := cfg
+	vrCfg.VR = sim.VR{Antithetic: true, Stratify: true, CondVariate: true}
+	vr, err := Run(context.Background(), Spec{
+		Config:        vrCfg,
+		Seed:          7,
+		BatchSize:     2048,
+		MinIterations: 2048, // ≥ 8 blocks before the block-mean CI may stop
+		TargetRelErr:  target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Reason != StopTarget {
+		t.Fatalf("VR campaign stopped for %v, want target", vr.Reason)
+	}
+
+	// Agreement at the same level: overlapping 95% intervals.
+	if vr.CI.Lo > plain.CI.Hi || plain.CI.Lo > vr.CI.Hi {
+		t.Errorf("estimates disagree: VR CI [%g, %g] vs plain [%g, %g]",
+			vr.CI.Lo, vr.CI.Hi, plain.CI.Lo, plain.CI.Hi)
+	}
+
+	speedup := float64(plain.Iterations) / float64(vr.Iterations)
+	t.Logf("±%.0f%%: plain %d iterations, cond-VR stack %d (%.1f×); plain CI [%g, %g], VR [%g, %g] vrfactor=%.2f coeff=%.3f breakdown=%+v",
+		target*100, plain.Iterations, vr.Iterations, speedup,
+		plain.CI.Lo, plain.CI.Hi, vr.CI.Lo, vr.CI.Hi, vr.VRFactor, vr.VRCoeff, vr.VRByVariate)
+	if speedup < 3 {
+		t.Errorf("cond-VR campaign took %d iterations vs %d plain — %.1f×, want >= 3×",
+			vr.Iterations, plain.Iterations, speedup)
+	}
+	if vr.VRFactor < 3 {
+		t.Errorf("variance-reduction factor %.2f, want >= 3", vr.VRFactor)
+	}
+	if bd := vr.VRByVariate; bd == nil {
+		t.Error("cond-VR campaign reported no per-variate breakdown")
+	} else {
+		if bd.Cond <= 1 {
+			t.Errorf("cond variate credited %.2f×, want > 1×", bd.Cond)
+		}
+		if bd.Control != 0 {
+			t.Errorf("indicator-control credit %.2f on a cond-variate campaign, want 0", bd.Control)
+		}
 	}
 }

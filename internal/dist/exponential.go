@@ -123,3 +123,21 @@ func (e Exponential) Sample(r *rng.RNG) float64 {
 func (e Exponential) String() string {
 	return fmt.Sprintf("Exponential(λ=%g)", e.rate)
 }
+
+// AsPoissonRate reports whether a renewal process with inter-arrival
+// distribution d is a homogeneous Poisson process — i.e. whether d is
+// memoryless — returning its rate. True for Exponential and for the
+// Weibull special case shape 1 with no location shift; callers relying on
+// Poisson structure (e.g. the conditional-DDF variate's thinned live-count
+// expectation) must gate on this.
+func AsPoissonRate(d Distribution) (float64, bool) {
+	switch v := d.(type) {
+	case Exponential:
+		return v.rate, true
+	case Weibull:
+		if v.Shape() == 1 && v.Location() == 0 {
+			return 1 / v.Scale(), true
+		}
+	}
+	return 0, false
+}

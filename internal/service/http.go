@@ -116,20 +116,23 @@ type resultDoc struct {
 	// Fleet carries the heal-backlog tally of fleet campaigns (coupled
 	// groups sharing spares and repair bandwidth); omitted for
 	// independent-group campaigns, keeping the legacy wire form intact.
-	Fleet       *sim.FleetTally `json:"fleet,omitempty"`
-	P           float64         `json:"p"`
-	CILo        float64         `json:"ci_lo"`
-	CIHi        float64         `json:"ci_hi"`
-	Confidence  float64         `json:"confidence"`
-	RelErr      *float64        `json:"rel_err,omitempty"`
-	ESS         float64         `json:"ess,omitempty"`
-	VRPairs     int             `json:"vr_pairs,omitempty"`
-	VRCoeff     float64         `json:"vr_coeff,omitempty"`
-	VRFactor    float64         `json:"vr_factor,omitempty"`
-	DDFsPer1000 float64         `json:"ddfs_per_1000_groups"`
-	Reason      string          `json:"reason"`
-	ElapsedS    float64         `json:"elapsed_s"`
-	Events      []eventDoc      `json:"events"`
+	Fleet      *sim.FleetTally `json:"fleet,omitempty"`
+	P          float64         `json:"p"`
+	CILo       float64         `json:"ci_lo"`
+	CIHi       float64         `json:"ci_hi"`
+	Confidence float64         `json:"confidence"`
+	RelErr     *float64        `json:"rel_err,omitempty"`
+	ESS        float64         `json:"ess,omitempty"`
+	VRPairs    int             `json:"vr_pairs,omitempty"`
+	VRCoeff    float64         `json:"vr_coeff,omitempty"`
+	VRFactor   float64         `json:"vr_factor,omitempty"`
+	// VRBreakdown attributes vr_factor to the individual techniques;
+	// omitted until measurable or when VR is off.
+	VRBreakdown *campaign.VRBreakdown `json:"vr_breakdown,omitempty"`
+	DDFsPer1000 float64               `json:"ddfs_per_1000_groups"`
+	Reason      string                `json:"reason"`
+	ElapsedS    float64               `json:"elapsed_s"`
+	Events      []eventDoc            `json:"events"`
 }
 
 func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
@@ -147,6 +150,7 @@ func (s *Server) resultDoc(j *Job, res *campaign.Result) resultDoc {
 		VRPairs:       res.VRPairs,
 		VRCoeff:       res.VRCoeff,
 		VRFactor:      res.VRFactor,
+		VRBreakdown:   res.VRByVariate,
 		Reason:        res.Reason.String(),
 		ElapsedS:      res.Elapsed.Seconds(),
 	}

@@ -64,6 +64,11 @@ type Metrics struct {
 	// variance-reduction stack (block engine with antithetic, stratified,
 	// or control-variate estimation).
 	VRIterations uint64 `json:"vr_iterations,omitempty"`
+	// VRBreakdownLast is the per-variate factor attribution of the most
+	// recently finished variance-reduced campaign — a liveness gauge for
+	// dashboards watching whether each technique still earns its keep.
+	// Omitted until a VR campaign completes with a measurable factor.
+	VRBreakdownLast *campaign.VRBreakdown `json:"vr_breakdown_last,omitempty"`
 	// QueueDepth and Running describe the scheduler's current load.
 	QueueDepth int `json:"queue_depth"`
 	Running    int `json:"running"`
@@ -90,6 +95,7 @@ type Server struct {
 	cache    map[string]*Job
 	nextSeq  int
 	draining bool
+	vrLast   *campaign.VRBreakdown // latest completed VR campaign's attribution
 
 	running                                                         atomic.Int64
 	submitted, completed, failed, canceled, hits, coalesced, merges atomic.Uint64
@@ -252,9 +258,10 @@ func (s *Server) Drain(ctx context.Context) error {
 // Metrics snapshots the counters.
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
-	jobs, draining := len(s.jobs), s.draining
+	jobs, draining, vrLast := len(s.jobs), s.draining, s.vrLast
 	s.mu.Unlock()
 	return Metrics{
+		VRBreakdownLast:     vrLast,
 		Submitted:           s.submitted.Load(),
 		Completed:           s.completed.Load(),
 		Failed:              s.failed.Load(),
@@ -341,6 +348,11 @@ func (s *Server) runJob(j *Job) {
 		s.iterations.Add(n)
 		if spec.Config.VR.Enabled() {
 			s.vrIterations.Add(n)
+		}
+		if res.VRByVariate != nil {
+			s.mu.Lock()
+			s.vrLast = res.VRByVariate
+			s.mu.Unlock()
 		}
 	}
 	switch {

@@ -257,19 +257,26 @@ func RunCollect(spec RunSpec, c Collector) error {
 // hundreds of iterations, so a shallow window already hides merge jitter.
 const blockWindow = 4
 
-// blockEv is one event-bearing iteration inside a block handoff, sparse
-// because the overwhelming majority of iterations produce no events.
+// blockEv is one event-bearing iteration inside a handoff, sparse because
+// the overwhelming majority of iterations produce no events. The events
+// themselves live in the handoff's flat ddfs arena at [off, off+n) — an
+// index into pooled storage, not an allocation.
 type blockEv struct {
-	idx  int // iteration index within the block
-	ddfs []DDF
+	idx int // iteration index within the block
+	off int // offset into the handoff's ddfs arena
+	n   int
 }
 
 // blockHandoff is one simulated block crossing from a worker to the merger.
-// Handoffs are pooled; the per-iteration log weights and the sparse event
-// index reuse their backing arrays across blocks.
+// Handoffs are pooled; the per-iteration log weights, the sparse event
+// index, and the flat event arena reuse their backing arrays across blocks,
+// so once each reaches its high-water mark the steady state allocates
+// nothing — even under an importance-sampling tilt where most iterations
+// bear events.
 type blockHandoff struct {
 	logWs []float64 // one per iteration, in iteration order
 	ev    []blockEv
+	ddfs  []DDF // flat arena the ev entries index into
 	vr    VRBlock
 	ez    float64
 	err   error
@@ -277,14 +284,12 @@ type blockHandoff struct {
 
 var blockHandoffPool = sync.Pool{New: func() any { return new(blockHandoff) }}
 
-// recycle clears the handoff for reuse, dropping event-slice references
-// (the collector owns them after Observe).
+// recycle clears the handoff for reuse, keeping every backing array at its
+// high-water capacity.
 func (h *blockHandoff) recycle() {
 	h.logWs = h.logWs[:0]
-	for i := range h.ev {
-		h.ev[i].ddfs = nil
-	}
 	h.ev = h.ev[:0]
+	h.ddfs = h.ddfs[:0]
 	h.vr = VRBlock{}
 	h.ez = 0
 	h.err = nil
@@ -368,25 +373,24 @@ func runCollectBlocks(spec RunSpec, be BlockEngine, workers int, c Collector) er
 					j, k := vr.stratum(g)
 					sc.col.reset(&r, j, k)
 					var logW float64
-					var z bool
+					var z float64
 					buf, logW, z = sc.simulateGroup(&cfg, buf[:0])
 					h.logWs = append(h.logWs, logW)
 					if len(buf) > 0 {
-						cp := make([]DDF, len(buf))
-						copy(cp, buf)
-						h.ev = append(h.ev, blockEv{idx: g - blo, ddfs: cp})
+						// The buffer is reused next iteration; stash the
+						// events in the handoff's pooled arena.
+						off := len(h.ddfs)
+						h.ddfs = append(h.ddfs, buf...)
+						h.ev = append(h.ev, blockEv{idx: g - blo, off: off, n: len(buf)})
 					}
 					if vr.Enabled() {
 						wt := math.Exp(logW)
-						y, zv := 0.0, 0.0
+						y := 0.0
 						if len(buf) > 0 {
 							y = wt
 						}
-						if z {
-							zv = wt
-						}
 						h.vr.Y += y
-						h.vr.Z += zv
+						h.vr.Z += wt * z
 						h.vr.Y2 += y * y
 						h.vr.N++
 						if vr.Antithetic {
@@ -418,7 +422,8 @@ func runCollectBlocks(spec RunSpec, be BlockEngine, workers int, c Collector) er
 		for idx, logW := range h.logWs {
 			var ddfs []DDF
 			if evi < len(h.ev) && h.ev[evi].idx == idx {
-				ddfs = h.ev[evi].ddfs
+				e := h.ev[evi]
+				ddfs = h.ddfs[e.off : e.off+e.n]
 				evi++
 			}
 			c.Observe(blo+idx-lo, ddfs, logW)
@@ -441,6 +446,7 @@ const fleetWindow = 4
 // within the chronology) plus the chronology's backlog statistics.
 type fleetHandoff struct {
 	ev    []blockEv
+	ddfs  []DDF // flat arena the ev entries index into
 	stats FleetStats
 	err   error
 }
@@ -448,10 +454,8 @@ type fleetHandoff struct {
 var fleetHandoffPool = sync.Pool{New: func() any { return new(fleetHandoff) }}
 
 func (h *fleetHandoff) recycle() {
-	for i := range h.ev {
-		h.ev[i].ddfs = nil
-	}
 	h.ev = h.ev[:0]
+	h.ddfs = h.ddfs[:0]
 	h.stats = FleetStats{}
 	h.err = nil
 }
@@ -489,11 +493,11 @@ func runCollectFleet(spec RunSpec, workers int, c Collector) error {
 				h.recycle()
 				base := uint64(spec.Offset + b*groups)
 				h.err = SimulateFleetInto(fc, spec.Seed, base, func(g int, ddfs []DDF) {
-					// The visit slice is engine scratch; copy the rare
-					// event-bearing group out, like the scalar path does.
-					cp := make([]DDF, len(ddfs))
-					copy(cp, ddfs)
-					h.ev = append(h.ev, blockEv{idx: g, ddfs: cp})
+					// The visit slice is engine scratch; stash the rare
+					// event-bearing group in the handoff's pooled arena.
+					off := len(h.ddfs)
+					h.ddfs = append(h.ddfs, ddfs...)
+					h.ev = append(h.ev, blockEv{idx: g, off: off, n: len(ddfs)})
 				}, &h.stats)
 				// The merger owns h the moment it is sent (it recycles and
 				// re-pools it), so latch the error before handing it off.
@@ -521,7 +525,8 @@ func runCollectFleet(spec RunSpec, workers int, c Collector) error {
 		for g := 0; g < groups; g++ {
 			var ddfs []DDF
 			if evi < len(h.ev) && h.ev[evi].idx == g {
-				ddfs = h.ev[evi].ddfs
+				e := h.ev[evi]
+				ddfs = h.ddfs[e.off : e.off+e.n]
 				evi++
 			}
 			c.Observe(base+g, ddfs, 0)

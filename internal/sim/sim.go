@@ -190,6 +190,14 @@ func (c Config) Validate() error {
 		}
 		return fmt.Errorf("sim: latent-defect bias set but latent defects disabled (TTLd nil)")
 	}
+	if c.VR.CondVariate && c.Trans.TTLd != nil {
+		// The cond variate's analytic expectation integrates a
+		// Poisson-thinned live-defect count; a non-memoryless renewal
+		// defect process would silently bias EZ.
+		if _, ok := dist.AsPoissonRate(c.Trans.TTLd); !ok {
+			return fmt.Errorf("sim: the conditional-DDF variate requires a memoryless defect process (exponential TTLd or an NHPP TTLdRate), got TTLd %v", c.Trans.TTLd)
+		}
+	}
 	return nil
 }
 

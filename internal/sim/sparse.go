@@ -12,7 +12,9 @@ import (
 // concurrently — so a Collector needs no locking and sees the same
 // sequence a serial loop would produce. ddfs is in chronological order and
 // may be nil for the (overwhelmingly common) event-free group; the slice
-// is owned by the collector after the call. logW is the iteration's
+// is only valid for the duration of the call — the batched runner paths
+// hand out views into pooled arenas — so a collector that retains events
+// must copy them (SparseResult does). logW is the iteration's
 // importance-sampling log weight, exactly 0 for unbiased runs.
 type Collector interface {
 	Observe(iteration int, ddfs []DDF, logW float64)
@@ -96,6 +98,23 @@ func (r *SparseResult) Observe(iteration int, ddfs []DDF, logW float64) {
 	}
 	if len(ddfs) == 0 {
 		return
+	}
+	if need := len(r.Events) + len(ddfs); need > cap(r.Events) {
+		// Grow by doubling explicitly: Go's built-in append falls to a
+		// 1.25× growth rate for large slices, which over a long campaign
+		// allocates ~5× the final slice size in dead intermediate copies —
+		// the dominant bytes/op of a batched run. Doubling caps the total
+		// allocation at ~2× final size.
+		newCap := 2 * cap(r.Events)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 64 {
+			newCap = 64
+		}
+		grown := make([]GroupEvent, len(r.Events), newCap)
+		copy(grown, r.Events)
+		r.Events = grown
 	}
 	for _, d := range ddfs {
 		r.Events = append(r.Events, GroupEvent{Group: iteration, LogW: logW, DDF: d})

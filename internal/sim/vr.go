@@ -21,6 +21,13 @@ package sim
 //     whose expectation EZ = 1 - exp(-Σ_s H_s(M)) is known in closed form
 //     from the compiled kernels. The estimator subtracts c·(z̄ - EZ) with
 //     the optimal c fitted online (stats.CVAccum).
+//   - Conditional-DDF variate (cond): z counts the first-generation
+//     failures whose drawn mate state would kill them — a mate failed
+//     within the mean-rebuild window or carrying a live drawn defect —
+//     with EZ the exact analytic.CondDDF quadrature over the Poisson
+//     defect process. Strong exactly where the indicator variate is weak:
+//     the scrubbed regime, where defects do not persist and almost all
+//     variance is the defect-coincidence coin flip.
 //
 // All three act strictly within a block of BlockSize consecutive
 // iterations, so block sums are iid observations: the campaign CI is a
@@ -48,6 +55,15 @@ type VR struct {
 	// ControlVariate subtracts the analytic first-generation-failure
 	// indicator with an online-fitted coefficient.
 	ControlVariate bool `json:"control_variate,omitempty"`
+	// CondVariate replaces the indicator control with the conditional-DDF
+	// variate: the first-generation kill count z = Σ_s 1{T_s ≤ M}·κ_s,
+	// evaluated from the drawn failure times and defect states, whose
+	// exact expectation is the analytic.CondDDF quadrature (DESIGN.md
+	// §12). It predicts the DDF indicator even when scrubbing erases
+	// defect persistence — the regime where the plain indicator variate
+	// is powerless. Mutually exclusive with ControlVariate; requires a
+	// memoryless defect process (exponential TTLd or an NHPP rate).
+	CondVariate bool `json:"cond_variate,omitempty"`
 	// BlockSize is the iterations per VR block (0 = DefaultVRBlock). Must
 	// be even when Antithetic is on.
 	BlockSize int `json:"block_size,omitempty"`
@@ -55,7 +71,11 @@ type VR struct {
 
 // Enabled reports whether any variance-reduction technique is on. A bare
 // BlockSize does not count: it changes scheduling, not the estimator.
-func (v VR) Enabled() bool { return v.Antithetic || v.Stratify || v.ControlVariate }
+func (v VR) Enabled() bool { return v.Antithetic || v.Stratify || v.ControlVariate || v.CondVariate }
+
+// AnyControl reports whether either control-variate flavour is active —
+// the paths that fit a coefficient and need the analytic expectation EZ.
+func (v VR) AnyControl() bool { return v.ControlVariate || v.CondVariate }
 
 // EffectiveBlock returns the block size actually used: BlockSize, or
 // DefaultVRBlock when unset. Campaign-level schedulers align batches and
@@ -74,6 +94,9 @@ func (v VR) validate() error {
 	}
 	if v.Antithetic && v.EffectiveBlock()%2 != 0 {
 		return fmt.Errorf("sim: antithetic pairing needs an even VR block size, got %d", v.EffectiveBlock())
+	}
+	if v.ControlVariate && v.CondVariate {
+		return fmt.Errorf("sim: ControlVariate and CondVariate are mutually exclusive — pick one control")
 	}
 	return nil
 }
@@ -130,8 +153,9 @@ type VRBlock struct {
 type VRTally struct {
 	// BlockSize is the block length the sums were accumulated under.
 	BlockSize int
-	// EZ is the analytic expectation of the control-variate indicator
-	// under the true (untilted) measure.
+	// EZ is the analytic expectation of the control variate under the true
+	// (untilted) measure: in [0, 1] for the indicator variate, in
+	// [0, drives] for the conditional-DDF count.
 	EZ float64
 	// Blocks holds every completed (or edge-clipped) block in iteration
 	// order.

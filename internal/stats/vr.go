@@ -78,6 +78,21 @@ func (a *CVAccum) Coeff() float64 {
 	return a.syz / a.szz
 }
 
+// R2 returns the squared sample correlation r² = Syz²/(Syy·Szz) between the
+// observation and its control — the fraction of observation variance the
+// control removes. The implied variance-reduction factor of the adjusted
+// estimator is 1/(1-r²). Returns 0 when either side has no sample variance.
+func (a *CVAccum) R2() float64 {
+	if !(a.syy > 0) || !(a.szz > 0) {
+		return 0
+	}
+	r2 := a.syz * a.syz / (a.syy * a.szz)
+	if r2 > 1 {
+		r2 = 1 // rounding guard
+	}
+	return r2
+}
+
 // Interval returns the normal-approximation confidence interval for E[y]
 // from the control-variate adjusted estimator ŷ = ȳ - ĉ·(z̄ - ez), where
 // ez is the control's known analytic expectation. The adjusted residual

@@ -181,3 +181,63 @@ func TestCVAccumDegenerate(t *testing.T) {
 		t.Fatal("degenerate control produced a NaN interval")
 	}
 }
+
+// TestCVAccumR2: r² must match the batch formula, bind the adjusted
+// interval's width to the plain one as width·√(1-r²), and collapse to the
+// degenerate 0 when either side has no variance (and cap at 1 for an exact
+// linear control).
+func TestCVAccumR2(t *testing.T) {
+	r := rng.New(7)
+	var acc CVAccum
+	ys := make([]float64, 500)
+	zs := make([]float64, 500)
+	for i := range ys {
+		ys[i] = r.NormFloat64()
+		zs[i] = 0.7*ys[i] + 0.5*r.NormFloat64()
+		acc.Add(ys[i], zs[i])
+	}
+	meanY, meanZ := Mean(ys), Mean(zs)
+	var syy, szz, syz float64
+	for i := range ys {
+		syy += (ys[i] - meanY) * (ys[i] - meanY)
+		szz += (zs[i] - meanZ) * (zs[i] - meanZ)
+		syz += (ys[i] - meanY) * (zs[i] - meanZ)
+	}
+	want := syz * syz / (syy * szz)
+	if got := acc.R2(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("R2 = %v, batch %v", got, want)
+	}
+	if got := acc.R2(); got <= 0 || got >= 1 {
+		t.Fatalf("R2 = %v outside (0, 1) for a noisy linear control", got)
+	}
+
+	// Width relation: adjusted half-width = plain half-width·√(1-r²).
+	adj, err := acc.Interval(0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NormalMeanCI(ys, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := (plain.Hi - plain.Lo) * math.Sqrt(1-acc.R2())
+	if gotW := adj.Hi - adj.Lo; math.Abs(gotW-wantW) > 1e-9*(1+wantW) {
+		t.Fatalf("adjusted width %v, want plain·sqrt(1-r²) = %v", gotW, wantW)
+	}
+
+	// Degenerate sides.
+	var flat CVAccum
+	for i := 0; i < 10; i++ {
+		flat.Add(float64(i), 4.0)
+	}
+	if flat.R2() != 0 {
+		t.Fatalf("constant control R2 = %v, want 0", flat.R2())
+	}
+	var exact CVAccum
+	for i := 0; i < 10; i++ {
+		exact.Add(float64(i), 2*float64(i)+1)
+	}
+	if got := exact.R2(); got > 1 || got < 1-1e-12 {
+		t.Fatalf("exact linear control R2 = %v, want 1", got)
+	}
+}

@@ -28,6 +28,9 @@ PIN='^(BenchmarkKernelWeibull|BenchmarkKernelTilted|BenchmarkKernelFill|Benchmar
 # The batched engine must hold its headline speedup over the scalar
 # interval engine (BENCH_sim.json): block median <= sequential/MIN_SPEEDUP.
 MIN_SPEEDUP="${MIN_BLOCK_SPEEDUP:-1.5}"
+# The biased block path must hold its speedup over the biased interval
+# scalar (the batched likelihood-ratio column rework, BENCH_sim.json).
+MIN_BIASED_SPEEDUP="${MIN_BIASED_BLOCK_SPEEDUP:-1.4}"
 PKGS=". ./internal/dist"
 
 cd "$(dirname "$0")/.."
@@ -134,6 +137,27 @@ medians "$tmp/head.txt" | awk -v min="$MIN_SPEEDUP" '
     }
   }'
 
+# Head-only biased-path gate: the batched likelihood-ratio columns must
+# keep the biased block path at least MIN_BIASED_SPEEDUP× below the biased
+# interval scalar. Medians come from the same invocation's -count
+# repetitions, which go test interleaves across the whole set — the VM's
+# ±20% slow drift between invocations cancels out of the ratio.
+medians "$tmp/head.txt" | awk -v min="$MIN_BIASED_SPEEDUP" '
+  $1 == "BenchmarkEngineBlockBiasedInto" { block = $2 }
+  $1 == "BenchmarkEngineSequentialBiasedInto" { seq = $2 }
+  END {
+    if (!block || !seq) {
+      print "benchgate: biased block/scalar medians not all measured; skipping biased speedup gate"
+      exit 0
+    }
+    printf "benchgate: biased block %.0f ns vs biased interval %.0f ns (%.2fx, gate >= %.2fx)\n", \
+      block, seq, seq / block, min
+    if (seq / block < min) {
+      print "benchgate: FAIL — biased block path lost its speedup over the biased interval scalar"
+      exit 1
+    }
+  }'
+
 # Head-only topology gate: a flat (component-free) topology must compile
 # down to the plain per-drive event engine — its median may sit at most
 # MAX_PCT above BenchmarkEngineTimelineInto's, i.e. within the same noise
@@ -156,16 +180,21 @@ medians "$tmp/head.txt" | awk -v max="$MAX_PCT" '
     }
   }'
 
-# Statistical-efficiency gate: the variance-reduction stack must keep
+# Statistical-efficiency gates: the variance-reduction stack must keep
 # reaching the relative-CI target with >= 2x fewer iterations than the
-# plain estimator on the paper no-scrub base case (the BENCH_sim.json
-# variance_reduction figure). The test fails on any regression.
-echo "benchgate: checking iterations-to-CI efficiency figure"
+# plain estimator on the paper no-scrub base case, and the conditional-DDF
+# variate with >= 3x fewer on the scrubbed base case (the BENCH_sim.json
+# variance_reduction figures). The tests fail on any regression.
+echo "benchgate: checking iterations-to-CI efficiency figures"
 go test ./internal/campaign/ -run '^TestVREfficiencyFigure$' -count 1 >/dev/null || {
   echo "benchgate: FAIL — TestVREfficiencyFigure regressed (VR iterations-to-CI advantage below 2x)"
   exit 1
 }
-echo "benchgate: efficiency figure OK"
+go test ./internal/campaign/ -run '^TestVREfficiencyFigureScrubbed$' -count 1 >/dev/null || {
+  echo "benchgate: FAIL — TestVREfficiencyFigureScrubbed regressed (cond-variate iterations-to-CI advantage below 3x)"
+  exit 1
+}
+echo "benchgate: efficiency figures OK"
 
 # Fleet-scale allocation gate: a warm fleet chronology (10^5 idle groups,
 # and a smaller busy contended fleet) must stay at 0 steady-state heap
